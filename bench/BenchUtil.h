@@ -1,0 +1,52 @@
+//===--- BenchUtil.h - Shared benchmark table helpers -----------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table formatting shared by the experiment-reproduction benches. Every
+/// bench prints the series of one paper table or figure; EXPERIMENTS.md
+/// records these outputs against the paper's reported values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_BENCH_BENCHUTIL_H
+#define ESP_BENCH_BENCHUTIL_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace esp {
+namespace bench {
+
+inline void printHeader(const std::string &Title) {
+  std::printf("\n=== %s ===\n", Title.c_str());
+}
+
+inline std::string sizeLabel(uint32_t Bytes) {
+  char Buf[32];
+  if (Bytes >= 1024 && Bytes % 1024 == 0)
+    std::snprintf(Buf, sizeof Buf, "%uK", Bytes / 1024);
+  else
+    std::snprintf(Buf, sizeof Buf, "%u", Bytes);
+  return Buf;
+}
+
+/// The message-size sweep of Figure 5(a): 4 B to 4 KB.
+inline std::vector<uint32_t> latencySizes() {
+  return {4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
+}
+
+/// The message-size sweep of Figures 5(b) and 5(c): 4 B to 64 KB.
+inline std::vector<uint32_t> bandwidthSizes() {
+  return {4,    8,    16,   32,   64,    128,   256,  512,
+          1024, 2048, 4096, 8192, 16384, 32768, 65536};
+}
+
+} // namespace bench
+} // namespace esp
+
+#endif // ESP_BENCH_BENCHUTIL_H

@@ -1,0 +1,75 @@
+//===--- bench_loc_table.cpp - Lines-of-code comparison table ---------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+// Reproduces the paper's lines-of-code comparison (§4.6): the original
+// VMMC firmware was ~15600 lines of C (about 1100 of them fast paths);
+// the ESP reimplementation was ~500 lines of ESP (200 declarations + 300
+// process code) plus ~3000 lines of simple C. This bench counts the
+// corresponding artifacts of this reproduction: the embedded ESP
+// firmware source (split the same way) and, when the build exposes the
+// source tree, the baseline firmware and binding sources.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "support/StringExtras.h"
+#include "vmmc/EspFirmwareSource.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace esp;
+using namespace esp::bench;
+using namespace esp::vmmc;
+
+static unsigned countFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return 0;
+  std::ostringstream Text;
+  Text << In.rdbuf();
+  return countEffectiveLines(Text.str());
+}
+
+int main() {
+  printHeader("Table: lines of code (paper section 4.6)");
+
+  unsigned Decl = getVmmcEspDeclLines();
+  unsigned Proc = getVmmcEspProcessLines();
+
+#ifdef ESP_SOURCE_DIR
+  std::string Root = ESP_SOURCE_DIR;
+#else
+  std::string Root = ".";
+#endif
+  unsigned OrigLines = countFile(Root + "/src/vmmc/OrigFirmware.cpp") +
+                       countFile(Root + "/src/vmmc/OrigFirmware.h");
+  unsigned HelperLines = countFile(Root + "/src/vmmc/EspFirmware.cpp") +
+                         countFile(Root + "/src/vmmc/EspFirmware.h");
+
+  std::printf("%-42s %10s %10s\n", "artifact", "this repro", "paper");
+  std::printf("%-42s %10u %10s\n", "ESP firmware: declarations", Decl,
+              "~200");
+  std::printf("%-42s %10u %10s\n", "ESP firmware: process code", Proc,
+              "~300");
+  std::printf("%-42s %10u %10s\n", "ESP firmware: total ESP", Decl + Proc,
+              "~500");
+  std::printf("%-42s %10u %10s\n",
+              "helper C (bindings/simple operations)", HelperLines,
+              "~3000");
+  std::printf("%-42s %10u %10s\n",
+              "baseline C-style firmware (per feature)", OrigLines,
+              "15600");
+  std::printf("\nprocesses in the ESP firmware: 5 (paper: 7)\n");
+  std::printf("channels in the ESP firmware: 15 (paper: 17)\n");
+  std::printf("note: the paper's 15600-line baseline implements the full "
+              "production feature set;\nthis repro's baseline covers the "
+              "same features as its ESP firmware, so the\nmeaningful "
+              "comparison is the ~%.1fx ESP-vs-C ratio for equivalent "
+              "control logic\n(paper reports ~10x when counting only "
+              "comparable functionality).\n",
+              OrigLines ? static_cast<double>(OrigLines) / (Decl + Proc)
+                        : 0.0);
+  return 0;
+}

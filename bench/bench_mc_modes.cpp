@@ -1,0 +1,130 @@
+//===--- bench_mc_modes.cpp - Model checker exploration modes ---------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+// Reproduces the §5.1 discussion of SPIN's three exploration modes:
+// exhaustive search, bit-state hashing (partial search with far less
+// memory), and random simulation (the development mode, "more effective
+// in discovering bugs" than a faithful simulator because it randomizes
+// every choice). Each mode runs over (a) a correct producer/consumer
+// system scaled up until exhaustive search is expensive, and (b) the
+// same system with a seeded race-dependent assertion bug.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "mc/ModelChecker.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <string>
+
+using namespace esp;
+using namespace esp::bench;
+
+namespace {
+
+/// N producers, one server, one consumer; the bug variant asserts a
+/// property that only fails in one interleaving class.
+std::string makeModel(unsigned Messages, bool SeedBug) {
+  std::string Source = "const N = " + std::to_string(Messages) + ";\n";
+  Source += R"(
+channel reqC: record of { ret: int, v: int }
+channel repC: record of { ret: int, v: int }
+channel doneC: int
+process clientA {
+  $i = 0;
+  while (i < N) {
+    out( reqC, { @, i });
+    in( repC, { @, $r });
+    i = i + 1;
+  }
+  out( doneC, 1);
+}
+process clientB {
+  $i = 0;
+  while (i < N) {
+    out( reqC, { @, i + 100 });
+    in( repC, { @, $r });
+    i = i + 1;
+  }
+  out( doneC, 2);
+}
+process server {
+  $served = 0;
+  $lastA = -1;
+  while (true) {
+    in( reqC, { $who, $v });
+    served = served + 1;
+)";
+  if (SeedBug)
+    // Fails only when B's first request is served before any of A's:
+    // a race the depth-first developer run can easily miss.
+    Source += "    assert(!(served == 1 && v >= 100));\n";
+  Source += R"(
+    out( repC, { who, v * 2 });
+  }
+}
+process joiner {
+  in( doneC, $a);
+  in( doneC, $b);
+  assert(a + b == 3);
+}
+)";
+  return Source;
+}
+
+void runRow(const char *Label, const std::string &Model, SearchMode Mode,
+            unsigned BitBits) {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  std::unique_ptr<Program> Prog = Parser::parse(SM, Diags, "model", Model);
+  if (!Prog || !checkProgram(*Prog, Diags)) {
+    std::printf("compile error:\n%s", Diags.renderAll().c_str());
+    return;
+  }
+  ModuleIR Module = lowerProgram(*Prog);
+  McOptions Options;
+  Options.Mode = Mode;
+  Options.BitStateBits = BitBits;
+  Options.MaxStates = 4'000'000;
+  Options.SimulationRuns = 64;
+  Options.CheckDeadlock = false; // server loops forever by design.
+  McResult R = checkModel(Module, Options);
+  const char *ModeName = Mode == SearchMode::Exhaustive ? "exhaustive"
+                         : Mode == SearchMode::BitState ? "bit-state"
+                                                        : "simulation";
+  const char *Verdict =
+      R.foundViolation()
+          ? "BUG FOUND"
+          : (R.Verdict == McVerdict::OK ? "proved safe" : "no bug seen");
+  std::printf("%-28s %-11s %10llu %10llu %9.3f %9.2f  %s\n", Label,
+              ModeName, static_cast<unsigned long long>(R.StatesExplored),
+              static_cast<unsigned long long>(R.StatesStored), R.Seconds,
+              R.MemoryBytes / 1024.0 / 1024.0, Verdict);
+}
+
+} // namespace
+
+int main() {
+  printHeader("Table: exploration modes (section 5.1)");
+  std::printf("%-28s %-11s %10s %10s %9s %9s  %s\n", "system", "mode",
+              "explored", "stored", "sec", "MB", "verdict");
+
+  std::string Clean = makeModel(6, /*SeedBug=*/false);
+  runRow("2 clients x 6 msgs, clean", Clean, SearchMode::Exhaustive, 0);
+  runRow("2 clients x 6 msgs, clean", Clean, SearchMode::BitState, 18);
+  runRow("2 clients x 6 msgs, clean", Clean, SearchMode::Simulation, 0);
+
+  std::string Buggy = makeModel(6, /*SeedBug=*/true);
+  runRow("same + seeded race bug", Buggy, SearchMode::Exhaustive, 0);
+  runRow("same + seeded race bug", Buggy, SearchMode::BitState, 18);
+  runRow("same + seeded race bug", Buggy, SearchMode::Simulation, 0);
+
+  std::printf("\npaper: exhaustive explores everything; bit-state covers "
+              "large spaces in\nbounded memory; randomized simulation "
+              "finds most bugs during development.\n");
+  return 0;
+}

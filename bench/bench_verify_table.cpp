@@ -1,0 +1,157 @@
+//===--- bench_verify_table.cpp - Memory-safety verification table ----------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+// Reproduces the §5.3 verification experiments:
+//
+//  * per-process memory-safety verification of the actual VMMC firmware
+//    processes (the paper: the biggest process took 2251 states, 0.5 s,
+//    2.2 MB in exhaustive mode),
+//  * injected memory bugs (use-after-free, leak) detected in every case,
+//  * the processes with unbounded counters (the transmit window's
+//    sequence numbers) use bit-state partial search, matching SPIN's
+//    answer to state-space growth.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "support/Diagnostics.h"
+#include "mc/SafetyHarness.h"
+#include "support/SourceManager.h"
+#include "vmmc/EspFirmwareSource.h"
+
+using namespace esp;
+using namespace esp::bench;
+
+namespace {
+
+std::unique_ptr<Program> compileFirmware(SourceManager &SM,
+                                         DiagnosticEngine &Diags) {
+  std::unique_ptr<Program> Prog =
+      Parser::parse(SM, Diags, "vmmc.esp", vmmc::getVmmcEspSource());
+  if (!Prog || !checkProgram(*Prog, Diags)) {
+    std::fprintf(stderr, "firmware failed to compile:\n%s",
+                 Diags.renderAll().c_str());
+    std::exit(1);
+  }
+  return Prog;
+}
+
+void verifyRow(const Program &Prog, const char *Name, SearchMode Mode,
+               uint64_t MaxStates) {
+  SafetyOptions Options;
+  Options.IntDomain = {0, 1};
+  Options.Mc.Mode = Mode;
+  Options.Mc.MaxStates = MaxStates;
+  Options.Mc.MaxObjects = 128;
+  McResult R = verifyProcessMemorySafety(Prog, Name, Options);
+  const char *Verdict = "SAFE";
+  if (R.Verdict == McVerdict::Violation)
+    Verdict = "VIOLATION";
+  else if (R.Verdict == McVerdict::StateLimit)
+    Verdict = "truncated";
+  else if (R.Verdict == McVerdict::PartialOK)
+    Verdict = "SAFE(part)";
+  std::printf("%-12s %-12s %10llu %10llu %9.3f %9.2f  %s\n", Name,
+              Mode == SearchMode::Exhaustive ? "exhaustive" : "bit-state",
+              static_cast<unsigned long long>(R.StatesExplored),
+              static_cast<unsigned long long>(R.StatesStored), R.Seconds,
+              R.MemoryBytes / 1024.0 / 1024.0, Verdict);
+}
+
+void injectedBugRow(const char *Label, const char *Source,
+                    const char *ProcName) {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  std::unique_ptr<Program> Prog = Parser::parse(SM, Diags, Label, Source);
+  if (!Prog || !checkProgram(*Prog, Diags)) {
+    std::printf("%-34s compile error\n", Label);
+    return;
+  }
+  SafetyOptions Options;
+  McResult R = verifyProcessMemorySafety(*Prog, ProcName, Options);
+  std::printf("%-34s %-14s %8llu states %8.3f s  trace:%zu moves\n", Label,
+              R.foundViolation()
+                  ? runtimeErrorKindName(R.Violation.Kind)
+                  : "NOT FOUND",
+              static_cast<unsigned long long>(R.StatesExplored), R.Seconds,
+              R.Trace.size());
+}
+
+} // namespace
+
+int main() {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  std::unique_ptr<Program> Prog = compileFirmware(SM, Diags);
+
+  printHeader("Table: per-process memory-safety verification (section 5.3)");
+  std::printf("paper reference: biggest process = 2251 states, 0.5 s, "
+              "2.2 MB, exhaustive\n\n");
+  std::printf("%-12s %-12s %10s %10s %9s %9s  %s\n", "process", "mode",
+              "explored", "stored", "sec", "MB", "verdict");
+  verifyRow(*Prog, "pageTable", SearchMode::Exhaustive, 2'000'000);
+  verifyRow(*Prog, "userReq", SearchMode::Exhaustive, 2'000'000);
+  verifyRow(*Prog, "deliver", SearchMode::Exhaustive, 2'000'000);
+  verifyRow(*Prog, "rxDemux", SearchMode::Exhaustive, 2'000'000);
+  // The transmit window's sequence numbers grow without bound, so its
+  // state space is infinite; bit-state partial search covers it (SPIN's
+  // supertrace mode, §5.1).
+  verifyRow(*Prog, "txWindow", SearchMode::BitState, 60'000);
+
+  printHeader("Injected memory bugs are found in every case (section 5.3)");
+  injectedBugRow("use-after-free (reader)", R"(
+type msgT = record of { v: int, data: array of int }
+channel c: msgT
+channel d: int
+process buggy {
+  while (true) {
+    in(c, { $v, $data });
+    unlink(data);
+    out(d, data[0]);
+  }
+}
+)",
+                 "buggy");
+  injectedBugRow("double unlink", R"(
+type msgT = record of { v: int, data: array of int }
+channel c: msgT
+process buggy {
+  while (true) {
+    in(c, { $v, $data });
+    unlink(data);
+    unlink(data);
+  }
+}
+)",
+                 "buggy");
+  injectedBugRow("leak (never unlinked)", R"(
+type msgT = record of { v: int, data: array of int }
+channel c: msgT
+process buggy {
+  while (true) {
+    in(c, { $v, $data });
+  }
+}
+)",
+                 "buggy");
+  injectedBugRow("leak (conditional path)", R"(
+type msgT = record of { v: int, data: array of int }
+channel c: msgT
+channel d: int
+process buggy {
+  while (true) {
+    in(c, { $v, $data });
+    if (v > 0) {
+      unlink(data);
+    } else {
+      out(d, v);
+    }
+  }
+}
+)",
+                 "buggy");
+  return 0;
+}

@@ -1,0 +1,60 @@
+//===--- CCodeGen.h - ESP to C compiler backend -----------------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C backend (§6.1). The whole ESP program is compiled into one C
+/// translation unit:
+///
+///  * processes are stackless: locals live in the static region; a
+///    context switch saves only the program counter (a label index),
+///  * every communication point compiles to specialized pairing code —
+///    the compiler sees all processes and channels, so each block point
+///    checks exactly the peers that can ever match (the paper's bitmask
+///    scheme compiles to these static enabled-mask tests),
+///  * message transfer increments reference counts instead of copying,
+///  * allocation is postponed past the rendezvous for lazy out cases and
+///    elided entirely for elidable record sends,
+///  * external interfaces become the paper's C function pairs:
+///    `<Iface>IsReady()` plus one function per interface case,
+///  * an idle loop polls external channels and drives the stack-based
+///    non-preemptive scheduler.
+///
+/// The generated file compiles standalone with any C99 compiler; the
+/// test suite compiles and runs it with the system `cc`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_CODEGEN_CCODEGEN_H
+#define ESP_CODEGEN_CCODEGEN_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace esp {
+
+struct CCodeGenOptions {
+  /// Emit live-object assertions before each access (mirrors the checks
+  /// the verifier inserts; off by default — the paper's firmware relies
+  /// on pre-verification instead of runtime checks).
+  bool EmitSafetyChecks = false;
+  /// Prefix for all generated symbols.
+  std::string Prefix = "esp";
+};
+
+/// Compiles \p Module to a single C translation unit. The module should
+/// be optimized (the backend honors LazyOut/ElideRecordAlloc flags).
+std::string generateC(const ModuleIR &Module,
+                      const CCodeGenOptions &Options = CCodeGenOptions());
+
+/// Generates the companion header declaring the entry points and the
+/// extern functions the user must supply for the external interfaces.
+std::string generateCHeader(const ModuleIR &Module,
+                            const CCodeGenOptions &Options = CCodeGenOptions());
+
+} // namespace esp
+
+#endif // ESP_CODEGEN_CCODEGEN_H

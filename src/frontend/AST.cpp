@@ -1,0 +1,94 @@
+//===--- AST.cpp - ESP abstract syntax tree --------------------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/AST.h"
+
+using namespace esp;
+
+const char *esp::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Mod:
+    return "%";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  }
+  return "?";
+}
+
+bool Pattern::containsBinder() const {
+  switch (Kind) {
+  case PatternKind::Bind:
+    return true;
+  case PatternKind::Match:
+    return false;
+  case PatternKind::Record: {
+    for (const Pattern *P : ast_cast<RecordPattern>(this)->getElems())
+      if (P->containsBinder())
+        return true;
+    return false;
+  }
+  case PatternKind::Union:
+    return ast_cast<UnionPattern>(this)->getSub()->containsBinder();
+  }
+  return false;
+}
+
+ChannelDecl *Program::findChannel(const std::string &Name) const {
+  for (const std::unique_ptr<ChannelDecl> &C : Channels)
+    if (C->Name == Name)
+      return C.get();
+  return nullptr;
+}
+
+ProcessDecl *Program::findProcess(const std::string &Name) const {
+  for (const std::unique_ptr<ProcessDecl> &P : Processes)
+    if (P->Name == Name)
+      return P.get();
+  return nullptr;
+}
+
+const ConstDecl *Program::findConst(const std::string &Name) const {
+  for (const std::unique_ptr<ConstDecl> &C : ConstDecls)
+    if (C->Name == Name)
+      return C.get();
+  return nullptr;
+}
+
+InterfaceDecl *Program::findInterface(const std::string &Name) const {
+  for (const std::unique_ptr<InterfaceDecl> &I : Interfaces)
+    if (I->Name == Name)
+      return I.get();
+  return nullptr;
+}
+
+const TypeDecl *Program::findTypeDecl(const std::string &Name) const {
+  for (const TypeDecl &T : TypeDecls)
+    if (T.Name == Name)
+      return &T;
+  return nullptr;
+}

@@ -1,0 +1,352 @@
+//===--- Lexer.cpp - ESP lexer ---------------------------------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "support/StringExtras.h"
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+
+using namespace esp;
+
+const char *esp::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwType:
+    return "'type'";
+  case TokenKind::KwRecord:
+    return "'record'";
+  case TokenKind::KwUnion:
+    return "'union'";
+  case TokenKind::KwArray:
+    return "'array'";
+  case TokenKind::KwOf:
+    return "'of'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwChannel:
+    return "'channel'";
+  case TokenKind::KwInterface:
+    return "'interface'";
+  case TokenKind::KwProcess:
+    return "'process'";
+  case TokenKind::KwConst:
+    return "'const'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwAlt:
+    return "'alt'";
+  case TokenKind::KwCase:
+    return "'case'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwOut:
+    return "'out'";
+  case TokenKind::KwLink:
+    return "'link'";
+  case TokenKind::KwUnlink:
+    return "'unlink'";
+  case TokenKind::KwCast:
+    return "'cast'";
+  case TokenKind::KwAssert:
+    return "'assert'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Dollar:
+    return "'$'";
+  case TokenKind::Hash:
+    return "'#'";
+  case TokenKind::At:
+    return "'@'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Ellipsis:
+    return "'...'";
+  case TokenKind::PipeGreater:
+    return "'|>'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::NotEqual:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  }
+  return "unknown token";
+}
+
+static TokenKind keywordKind(std::string_view Text) {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"type", TokenKind::KwType},      {"record", TokenKind::KwRecord},
+      {"union", TokenKind::KwUnion},    {"array", TokenKind::KwArray},
+      {"of", TokenKind::KwOf},          {"int", TokenKind::KwInt},
+      {"bool", TokenKind::KwBool},      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},    {"channel", TokenKind::KwChannel},
+      {"interface", TokenKind::KwInterface},
+      {"process", TokenKind::KwProcess},
+      {"const", TokenKind::KwConst},    {"while", TokenKind::KwWhile},
+      {"if", TokenKind::KwIf},          {"else", TokenKind::KwElse},
+      {"alt", TokenKind::KwAlt},        {"case", TokenKind::KwCase},
+      {"in", TokenKind::KwIn},          {"out", TokenKind::KwOut},
+      {"link", TokenKind::KwLink},      {"unlink", TokenKind::KwUnlink},
+      {"cast", TokenKind::KwCast},      {"assert", TokenKind::KwAssert},
+  };
+  auto It = Keywords.find(Text);
+  return It == Keywords.end() ? TokenKind::Identifier : It->second;
+}
+
+Lexer::Lexer(const SourceManager &SM, uint32_t FileId, DiagnosticEngine &Diags)
+    : Text(SM.getBuffer(FileId)), FileId(FileId), Diags(Diags) {}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      uint32_t CommentBegin = Pos;
+      Pos += 2;
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+        ++Pos;
+      if (atEnd()) {
+        Diags.error(SourceLoc(FileId, CommentBegin),
+                    "unterminated block comment");
+        return;
+      }
+      Pos += 2;
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, uint32_t Begin) {
+  Token Tok;
+  Tok.Kind = Kind;
+  Tok.Loc = SourceLoc(FileId, Begin);
+  Tok.Text = Text.substr(Begin, Pos - Begin);
+  return Tok;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  uint32_t Begin = Pos;
+  while (!atEnd() && isIdentChar(peek()))
+    ++Pos;
+  std::string_view Spelling = Text.substr(Begin, Pos - Begin);
+  return makeToken(keywordKind(Spelling), Begin);
+}
+
+Token Lexer::lexNumber() {
+  uint32_t Begin = Pos;
+  int64_t Value = 0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    Pos += 2;
+    uint32_t DigitsBegin = Pos;
+    while (!atEnd() &&
+           (isDigit(peek()) || (peek() >= 'a' && peek() <= 'f') ||
+            (peek() >= 'A' && peek() <= 'F'))) {
+      char C = peek();
+      int Digit = isDigit(C) ? C - '0'
+                             : (C >= 'a' ? C - 'a' + 10 : C - 'A' + 10);
+      Value = Value * 16 + Digit;
+      ++Pos;
+    }
+    if (Pos == DigitsBegin)
+      Diags.error(SourceLoc(FileId, Begin),
+                  "hexadecimal literal requires at least one digit");
+  } else {
+    while (!atEnd() && isDigit(peek())) {
+      Value = Value * 10 + (peek() - '0');
+      ++Pos;
+    }
+  }
+  if (!atEnd() && isIdentStart(peek()))
+    Diags.error(SourceLoc(FileId, Pos),
+                "unexpected character in integer literal");
+  Token Tok = makeToken(TokenKind::IntLiteral, Begin);
+  Tok.IntValue = Value;
+  return Tok;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  if (atEnd())
+    return makeToken(TokenKind::EndOfFile, Pos);
+
+  uint32_t Begin = Pos;
+  char C = peek();
+
+  if (isIdentStart(C))
+    return lexIdentifierOrKeyword();
+  if (isDigit(C))
+    return lexNumber();
+
+  auto single = [&](TokenKind Kind) {
+    ++Pos;
+    return makeToken(Kind, Begin);
+  };
+  auto twoChar = [&](TokenKind Kind) {
+    Pos += 2;
+    return makeToken(Kind, Begin);
+  };
+
+  switch (C) {
+  case '{':
+    return single(TokenKind::LBrace);
+  case '}':
+    return single(TokenKind::RBrace);
+  case '(':
+    return single(TokenKind::LParen);
+  case ')':
+    return single(TokenKind::RParen);
+  case '[':
+    return single(TokenKind::LBracket);
+  case ']':
+    return single(TokenKind::RBracket);
+  case ',':
+    return single(TokenKind::Comma);
+  case ';':
+    return single(TokenKind::Semicolon);
+  case ':':
+    return single(TokenKind::Colon);
+  case '$':
+    return single(TokenKind::Dollar);
+  case '#':
+    return single(TokenKind::Hash);
+  case '@':
+    return single(TokenKind::At);
+  case '.':
+    if (peek(1) == '.' && peek(2) == '.') {
+      Pos += 3;
+      return makeToken(TokenKind::Ellipsis, Begin);
+    }
+    return single(TokenKind::Dot);
+  case '|':
+    if (peek(1) == '>')
+      return twoChar(TokenKind::PipeGreater);
+    if (peek(1) == '|')
+      return twoChar(TokenKind::PipePipe);
+    break;
+  case '&':
+    if (peek(1) == '&')
+      return twoChar(TokenKind::AmpAmp);
+    break;
+  case '-':
+    if (peek(1) == '>')
+      return twoChar(TokenKind::Arrow);
+    return single(TokenKind::Minus);
+  case '=':
+    if (peek(1) == '=')
+      return twoChar(TokenKind::EqualEqual);
+    return single(TokenKind::Assign);
+  case '!':
+    if (peek(1) == '=')
+      return twoChar(TokenKind::NotEqual);
+    return single(TokenKind::Bang);
+  case '<':
+    if (peek(1) == '=')
+      return twoChar(TokenKind::LessEqual);
+    return single(TokenKind::Less);
+  case '>':
+    if (peek(1) == '=')
+      return twoChar(TokenKind::GreaterEqual);
+    return single(TokenKind::Greater);
+  case '+':
+    return single(TokenKind::Plus);
+  case '*':
+    return single(TokenKind::Star);
+  case '/':
+    return single(TokenKind::Slash);
+  case '%':
+    return single(TokenKind::Percent);
+  default:
+    break;
+  }
+
+  Diags.error(SourceLoc(FileId, Begin),
+              std::string("unexpected character '") + C + "'");
+  ++Pos;
+  return makeToken(TokenKind::Error, Begin);
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token Tok = next();
+    Tokens.push_back(Tok);
+    if (Tok.is(TokenKind::EndOfFile))
+      return Tokens;
+  }
+}

@@ -1,0 +1,60 @@
+//===--- Lexer.h - ESP lexer ------------------------------------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for ESP. Supports `//` and `/* */` comments,
+/// decimal and hexadecimal integer literals, and the ESP-specific operator
+/// tokens (`|>`, `->`, `$`, `#`, `@`, `...`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_FRONTEND_LEXER_H
+#define ESP_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/SourceLoc.h"
+
+#include <string_view>
+#include <vector>
+
+namespace esp {
+
+class DiagnosticEngine;
+class SourceManager;
+
+/// Lexes one registered source buffer into tokens.
+class Lexer {
+public:
+  Lexer(const SourceManager &SM, uint32_t FileId, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token. At the end of the buffer returns
+  /// an EndOfFile token (repeatedly, if called again).
+  Token next();
+
+  /// Lexes the whole buffer. The returned vector always ends with an
+  /// EndOfFile token.
+  std::vector<Token> lexAll();
+
+private:
+  void skipTrivia();
+  Token makeToken(TokenKind Kind, uint32_t Begin);
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Text.size() ? Text[Pos + Ahead] : '\0';
+  }
+  bool atEnd() const { return Pos >= Text.size(); }
+
+  std::string_view Text;
+  uint32_t FileId;
+  DiagnosticEngine &Diags;
+  uint32_t Pos = 0;
+};
+
+} // namespace esp
+
+#endif // ESP_FRONTEND_LEXER_H

@@ -1,0 +1,307 @@
+//===--- PrettyPrinter.cpp - ESP source pretty-printer ------------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/PrettyPrinter.h"
+
+#include <sstream>
+
+using namespace esp;
+
+namespace {
+
+std::string indentOf(unsigned Indent) { return std::string(Indent * 2, ' '); }
+
+void printExprInto(const Expr *E, std::ostream &OS);
+
+void printCommaExprs(const std::vector<Expr *> &Elems, std::ostream &OS) {
+  for (size_t I = 0; I != Elems.size(); ++I) {
+    if (I)
+      OS << ", ";
+    printExprInto(Elems[I], OS);
+  }
+}
+
+void printExprInto(const Expr *E, std::ostream &OS) {
+  switch (E->getKind()) {
+  case ExprKind::IntLit:
+    OS << ast_cast<IntLitExpr>(E)->getValue();
+    return;
+  case ExprKind::BoolLit:
+    OS << (ast_cast<BoolLitExpr>(E)->getValue() ? "true" : "false");
+    return;
+  case ExprKind::SelfId:
+    OS << '@';
+    return;
+  case ExprKind::VarRef:
+    OS << ast_cast<VarRefExpr>(E)->getName();
+    return;
+  case ExprKind::Field: {
+    const FieldExpr *F = ast_cast<FieldExpr>(E);
+    printExprInto(F->getBase(), OS);
+    OS << '.' << F->getFieldName();
+    return;
+  }
+  case ExprKind::Index: {
+    const IndexExpr *I = ast_cast<IndexExpr>(E);
+    printExprInto(I->getBase(), OS);
+    OS << '[';
+    printExprInto(I->getIndex(), OS);
+    OS << ']';
+    return;
+  }
+  case ExprKind::Unary: {
+    const UnaryExpr *U = ast_cast<UnaryExpr>(E);
+    // Canonical form fully parenthesizes so reparsing is unambiguous.
+    OS << (U->getOp() == UnaryOp::Not ? "(!" : "(-");
+    printExprInto(U->getSub(), OS);
+    OS << ')';
+    return;
+  }
+  case ExprKind::Binary: {
+    const BinaryExpr *B = ast_cast<BinaryExpr>(E);
+    OS << '(';
+    printExprInto(B->getLHS(), OS);
+    OS << ' ' << binaryOpSpelling(B->getOp()) << ' ';
+    printExprInto(B->getRHS(), OS);
+    OS << ')';
+    return;
+  }
+  case ExprKind::RecordLit: {
+    const RecordLitExpr *R = ast_cast<RecordLitExpr>(E);
+    OS << (R->isMutableLit() ? "#{ " : "{ ");
+    printCommaExprs(R->getElems(), OS);
+    OS << " }";
+    return;
+  }
+  case ExprKind::UnionLit: {
+    const UnionLitExpr *U = ast_cast<UnionLitExpr>(E);
+    OS << (U->isMutableLit() ? "#{ " : "{ ") << U->getFieldName() << " |> ";
+    printExprInto(U->getValue(), OS);
+    OS << " }";
+    return;
+  }
+  case ExprKind::ArrayLit: {
+    const ArrayLitExpr *A = ast_cast<ArrayLitExpr>(E);
+    OS << (A->isMutableLit() ? "#{ " : "{ ");
+    printExprInto(A->getSize(), OS);
+    OS << " -> ";
+    printExprInto(A->getInit(), OS);
+    OS << " }";
+    return;
+  }
+  case ExprKind::Cast:
+    OS << "cast(";
+    printExprInto(ast_cast<CastExpr>(E)->getSub(), OS);
+    OS << ')';
+    return;
+  }
+}
+
+void printPatternInto(const Pattern *P, std::ostream &OS) {
+  switch (P->getKind()) {
+  case PatternKind::Bind:
+    OS << '$' << ast_cast<BindPattern>(P)->getName();
+    return;
+  case PatternKind::Match:
+    printExprInto(ast_cast<MatchPattern>(P)->getValue(), OS);
+    return;
+  case PatternKind::Record: {
+    const RecordPattern *R = ast_cast<RecordPattern>(P);
+    OS << "{ ";
+    for (size_t I = 0; I != R->getElems().size(); ++I) {
+      if (I)
+        OS << ", ";
+      printPatternInto(R->getElems()[I], OS);
+    }
+    OS << " }";
+    return;
+  }
+  case PatternKind::Union: {
+    const UnionPattern *U = ast_cast<UnionPattern>(P);
+    OS << "{ " << U->getFieldName() << " |> ";
+    printPatternInto(U->getSub(), OS);
+    OS << " }";
+    return;
+  }
+  }
+}
+
+void printStmtInto(const Stmt *S, unsigned Indent, std::ostream &OS);
+
+void printBlockBody(const Stmt *S, unsigned Indent, std::ostream &OS) {
+  OS << "{\n";
+  if (const BlockStmt *B = ast_dyn_cast<BlockStmt>(S)) {
+    for (const Stmt *Child : B->getBody())
+      printStmtInto(Child, Indent + 1, OS);
+  } else if (S) {
+    printStmtInto(S, Indent + 1, OS);
+  }
+  OS << indentOf(Indent) << "}";
+}
+
+void printCommAction(const CommAction &Action, std::ostream &OS) {
+  if (Action.IsIn) {
+    OS << "in( " << Action.ChannelName << ", ";
+    printPatternInto(Action.Pat, OS);
+    OS << ")";
+  } else {
+    OS << "out( " << Action.ChannelName << ", ";
+    printExprInto(Action.Out, OS);
+    OS << ")";
+  }
+}
+
+void printStmtInto(const Stmt *S, unsigned Indent, std::ostream &OS) {
+  std::string Pad = indentOf(Indent);
+  switch (S->getKind()) {
+  case StmtKind::Block:
+    OS << Pad;
+    printBlockBody(S, Indent, OS);
+    OS << '\n';
+    return;
+  case StmtKind::Decl: {
+    const DeclStmt *D = ast_cast<DeclStmt>(S);
+    OS << Pad << '$' << D->getName();
+    const Type *Annotation =
+        D->getVar() ? D->getVar()->VarType : D->getAnnotation();
+    if (Annotation)
+      OS << ": " << Annotation->str();
+    OS << " = ";
+    printExprInto(D->getInit(), OS);
+    OS << ";\n";
+    return;
+  }
+  case StmtKind::Assign: {
+    const AssignStmt *A = ast_cast<AssignStmt>(S);
+    OS << Pad;
+    printPatternInto(A->getLHS(), OS);
+    if (A->getAnnotation())
+      OS << ": " << A->getAnnotation()->str();
+    OS << " = ";
+    printExprInto(A->getRHS(), OS);
+    OS << ";\n";
+    return;
+  }
+  case StmtKind::If: {
+    const IfStmt *I = ast_cast<IfStmt>(S);
+    OS << Pad << "if (";
+    printExprInto(I->getCond(), OS);
+    OS << ") ";
+    printBlockBody(I->getThen(), Indent, OS);
+    if (I->getElse()) {
+      OS << " else ";
+      printBlockBody(I->getElse(), Indent, OS);
+    }
+    OS << '\n';
+    return;
+  }
+  case StmtKind::While: {
+    const WhileStmt *W = ast_cast<WhileStmt>(S);
+    OS << Pad << "while (";
+    if (W->getCond())
+      printExprInto(W->getCond(), OS);
+    else
+      OS << "true";
+    OS << ") ";
+    printBlockBody(W->getBody(), Indent, OS);
+    OS << '\n';
+    return;
+  }
+  case StmtKind::Alt: {
+    const AltStmt *A = ast_cast<AltStmt>(S);
+    // A bare in/out statement prints back as itself.
+    if (A->getCases().size() == 1 && !A->getCases()[0].Guard &&
+        !A->getCases()[0].Body) {
+      OS << Pad;
+      printCommAction(A->getCases()[0].Action, OS);
+      OS << ";\n";
+      return;
+    }
+    OS << Pad << "alt {\n";
+    for (const AltCase &Case : A->getCases()) {
+      OS << indentOf(Indent + 1) << "case( ";
+      if (Case.Guard) {
+        printExprInto(Case.Guard, OS);
+        OS << ", ";
+      }
+      printCommAction(Case.Action, OS);
+      OS << ") ";
+      if (Case.Body)
+        printBlockBody(Case.Body, Indent + 1, OS);
+      else
+        OS << "{ }";
+      OS << '\n';
+    }
+    OS << Pad << "}\n";
+    return;
+  }
+  case StmtKind::Link:
+    OS << Pad << "link(";
+    printExprInto(ast_cast<LinkStmt>(S)->getObj(), OS);
+    OS << ");\n";
+    return;
+  case StmtKind::Unlink:
+    OS << Pad << "unlink(";
+    printExprInto(ast_cast<UnlinkStmt>(S)->getObj(), OS);
+    OS << ");\n";
+    return;
+  case StmtKind::Assert:
+    OS << Pad << "assert(";
+    printExprInto(ast_cast<AssertStmt>(S)->getCond(), OS);
+    OS << ");\n";
+    return;
+  }
+}
+
+} // namespace
+
+std::string esp::printExpr(const Expr *E) {
+  std::ostringstream OS;
+  printExprInto(E, OS);
+  return OS.str();
+}
+
+std::string esp::printPattern(const Pattern *P) {
+  std::ostringstream OS;
+  printPatternInto(P, OS);
+  return OS.str();
+}
+
+std::string esp::printStmt(const Stmt *S, unsigned Indent) {
+  std::ostringstream OS;
+  printStmtInto(S, Indent, OS);
+  return OS.str();
+}
+
+std::string esp::printProgram(const Program &Prog) {
+  std::ostringstream OS;
+  for (const TypeDecl &T : Prog.TypeDecls)
+    OS << "type " << T.Name << " = " << T.Resolved->str() << "\n";
+  for (const std::unique_ptr<ConstDecl> &C : Prog.ConstDecls) {
+    OS << "const " << C->Name << " = ";
+    printExprInto(C->Init, OS);
+    OS << ";\n";
+  }
+  for (const std::unique_ptr<ChannelDecl> &C : Prog.Channels)
+    OS << "channel " << C->Name << ": " << C->ElemType->str() << "\n";
+  for (const std::unique_ptr<InterfaceDecl> &I : Prog.Interfaces) {
+    OS << "interface " << I->Name << "("
+       << (I->ExternalWrites ? "out " : "in ") << I->ChannelName << ") {\n";
+    for (size_t C = 0; C != I->Cases.size(); ++C) {
+      OS << "  " << I->Cases[C].Name << "( ";
+      printPatternInto(I->Cases[C].Pat, OS);
+      OS << " )" << (C + 1 != I->Cases.size() ? "," : "") << "\n";
+    }
+    OS << "}\n";
+  }
+  for (const std::unique_ptr<ProcessDecl> &P : Prog.Processes) {
+    OS << "\nprocess " << P->Name << " {\n";
+    for (const Stmt *S : P->Body->getBody())
+      OS << printStmt(S, 1);
+    OS << "}\n";
+  }
+  return OS.str();
+}

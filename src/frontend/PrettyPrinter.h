@@ -1,0 +1,34 @@
+//===--- PrettyPrinter.h - ESP source pretty-printer ------------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a checked Program back to ESP surface syntax. Used by
+/// `espc --format`, by diagnostics, and by the round-trip property tests
+/// (parse → print → reparse must produce an identical IR).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_FRONTEND_PRETTYPRINTER_H
+#define ESP_FRONTEND_PRETTYPRINTER_H
+
+#include "frontend/AST.h"
+
+#include <string>
+
+namespace esp {
+
+/// Renders the whole program in canonical formatting.
+std::string printProgram(const Program &Prog);
+
+/// Renders one expression / pattern / statement (exposed for tests and
+/// diagnostics).
+std::string printExpr(const Expr *E);
+std::string printPattern(const Pattern *P);
+std::string printStmt(const Stmt *S, unsigned Indent = 0);
+
+} // namespace esp
+
+#endif // ESP_FRONTEND_PRETTYPRINTER_H

@@ -1,0 +1,108 @@
+//===--- Token.h - ESP token definitions ------------------------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the ESP language. ESP has a C-style surface syntax with
+/// a few additions from the paper: `$` variable-declaration prefix, `#`
+/// mutable prefix, `@` process-instance id, `|>` union selector, and
+/// `N -> v` array-fill syntax.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_FRONTEND_TOKEN_H
+#define ESP_FRONTEND_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace esp {
+
+enum class TokenKind : uint8_t {
+  EndOfFile,
+  Error,
+
+  Identifier,
+  IntLiteral,
+
+  // Keywords.
+  KwType,
+  KwRecord,
+  KwUnion,
+  KwArray,
+  KwOf,
+  KwInt,
+  KwBool,
+  KwTrue,
+  KwFalse,
+  KwChannel,
+  KwInterface,
+  KwProcess,
+  KwConst,
+  KwWhile,
+  KwIf,
+  KwElse,
+  KwAlt,
+  KwCase,
+  KwIn,
+  KwOut,
+  KwLink,
+  KwUnlink,
+  KwCast,
+  KwAssert,
+
+  // Punctuation and operators.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+  Dollar,
+  Hash,
+  At,
+  Dot,
+  Ellipsis,
+  PipeGreater, ///< `|>`, the union-field selector.
+  Arrow,       ///< `->`, the array-fill separator.
+  Assign,
+  EqualEqual,
+  NotEqual,
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Bang,
+  AmpAmp,
+  PipePipe,
+};
+
+/// Returns a printable spelling for a token kind (for diagnostics).
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. The text view points into the SourceManager buffer.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  SourceLoc Loc;
+  std::string_view Text;
+  int64_t IntValue = 0; ///< Valid for IntLiteral tokens.
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+};
+
+} // namespace esp
+
+#endif // ESP_FRONTEND_TOKEN_H

@@ -1,0 +1,344 @@
+//===--- Lowering.cpp - AST to state-machine IR ----------------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/AST.h"
+#include "ir/IR.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace esp;
+
+namespace {
+
+/// Lowers one process body to a flat instruction list.
+class ProcessLowerer {
+public:
+  explicit ProcessLowerer(ProcIR &Out) : Out(Out) {}
+
+  void lower(const ProcessDecl &Proc) {
+    lowerStmt(Proc.Body);
+    emit(InstKind::Halt, Proc.Loc);
+  }
+
+private:
+  unsigned emit(InstKind Kind, SourceLoc Loc) {
+    Inst I;
+    I.Kind = Kind;
+    I.Loc = Loc;
+    Out.Insts.push_back(std::move(I));
+    return static_cast<unsigned>(Out.Insts.size() - 1);
+  }
+
+  unsigned here() const { return static_cast<unsigned>(Out.Insts.size()); }
+
+  void lowerStmt(const Stmt *S) {
+    if (!S)
+      return;
+    switch (S->getKind()) {
+    case StmtKind::Block:
+      for (const Stmt *Child : ast_cast<BlockStmt>(S)->getBody())
+        lowerStmt(Child);
+      return;
+    case StmtKind::Decl: {
+      const DeclStmt *D = ast_cast<DeclStmt>(S);
+      unsigned I = emit(InstKind::DeclInit, D->getLoc());
+      Out.Insts[I].Var = D->getVar();
+      Out.Insts[I].RHS = D->getInit();
+      return;
+    }
+    case StmtKind::Assign: {
+      const AssignStmt *A = ast_cast<AssignStmt>(S);
+      unsigned I = emit(InstKind::Store, A->getLoc());
+      Out.Insts[I].LHS = A->getLHS();
+      Out.Insts[I].PlainStore = A->isPlainStore();
+      Out.Insts[I].RHS = A->getRHS();
+      return;
+    }
+    case StmtKind::If: {
+      const IfStmt *If = ast_cast<IfStmt>(S);
+      unsigned BranchI = emit(InstKind::Branch, If->getLoc());
+      Out.Insts[BranchI].Cond = If->getCond();
+      lowerStmt(If->getThen());
+      if (If->getElse()) {
+        unsigned SkipElseI = emit(InstKind::Jump, If->getLoc());
+        Out.Insts[BranchI].Target = here();
+        lowerStmt(If->getElse());
+        Out.Insts[SkipElseI].Target = here();
+      } else {
+        Out.Insts[BranchI].Target = here();
+      }
+      return;
+    }
+    case StmtKind::While: {
+      const WhileStmt *W = ast_cast<WhileStmt>(S);
+      unsigned Top = here();
+      unsigned BranchI = ~0u;
+      if (W->getCond()) {
+        BranchI = emit(InstKind::Branch, W->getLoc());
+        Out.Insts[BranchI].Cond = W->getCond();
+      }
+      lowerStmt(W->getBody());
+      unsigned BackI = emit(InstKind::Jump, W->getLoc());
+      Out.Insts[BackI].Target = Top;
+      if (BranchI != ~0u)
+        Out.Insts[BranchI].Target = here();
+      return;
+    }
+    case StmtKind::Alt: {
+      const AltStmt *A = ast_cast<AltStmt>(S);
+      unsigned BlockI = emit(InstKind::Block, A->getLoc());
+      // Case bodies follow the Block; each ends with a jump to the join.
+      std::vector<unsigned> ExitJumps;
+      std::vector<IRCase> Cases;
+      for (const AltCase &Case : A->getCases()) {
+        IRCase IRC;
+        IRC.Guard = Case.Guard;
+        IRC.Channel = Case.Action.Channel;
+        IRC.IsIn = Case.Action.IsIn;
+        IRC.Pat = Case.Action.Pat;
+        IRC.Out = Case.Action.Out;
+        IRC.Loc = Case.Loc;
+        IRC.Target = here();
+        lowerStmt(Case.Body);
+        ExitJumps.push_back(emit(InstKind::Jump, Case.Loc));
+        Cases.push_back(std::move(IRC));
+      }
+      unsigned Join = here();
+      for (unsigned J : ExitJumps)
+        Out.Insts[J].Target = Join;
+      Out.Insts[BlockI].Cases = std::move(Cases);
+      return;
+    }
+    case StmtKind::Link: {
+      unsigned I = emit(InstKind::Link, S->getLoc());
+      Out.Insts[I].RHS = ast_cast<LinkStmt>(S)->getObj();
+      return;
+    }
+    case StmtKind::Unlink: {
+      unsigned I = emit(InstKind::Unlink, S->getLoc());
+      Out.Insts[I].RHS = ast_cast<UnlinkStmt>(S)->getObj();
+      return;
+    }
+    case StmtKind::Assert: {
+      unsigned I = emit(InstKind::Assert, S->getLoc());
+      Out.Insts[I].Cond = ast_cast<AssertStmt>(S)->getCond();
+      return;
+    }
+    }
+  }
+
+  ProcIR &Out;
+};
+
+} // namespace
+
+ModuleIR esp::lowerProgram(const Program &Prog) {
+  ModuleIR Module;
+  Module.Prog = &Prog;
+  for (const std::unique_ptr<ProcessDecl> &Proc : Prog.Processes) {
+    ProcIR PIR;
+    PIR.Proc = Proc.get();
+    ProcessLowerer Lowerer(PIR);
+    Lowerer.lower(*Proc);
+    Module.Procs.push_back(std::move(PIR));
+  }
+  return Module;
+}
+
+//===----------------------------------------------------------------------===//
+// Dumping
+//===----------------------------------------------------------------------===//
+
+static void dumpExprShort(const Expr *E, std::ostringstream &OS) {
+  if (!E) {
+    OS << "<null>";
+    return;
+  }
+  switch (E->getKind()) {
+  case ExprKind::IntLit:
+    OS << ast_cast<IntLitExpr>(E)->getValue();
+    return;
+  case ExprKind::BoolLit:
+    OS << (ast_cast<BoolLitExpr>(E)->getValue() ? "true" : "false");
+    return;
+  case ExprKind::SelfId:
+    OS << '@';
+    return;
+  case ExprKind::VarRef:
+    OS << ast_cast<VarRefExpr>(E)->getName();
+    return;
+  case ExprKind::Field: {
+    const FieldExpr *F = ast_cast<FieldExpr>(E);
+    dumpExprShort(F->getBase(), OS);
+    OS << '.' << F->getFieldName();
+    return;
+  }
+  case ExprKind::Index: {
+    const IndexExpr *I = ast_cast<IndexExpr>(E);
+    dumpExprShort(I->getBase(), OS);
+    OS << '[';
+    dumpExprShort(I->getIndex(), OS);
+    OS << ']';
+    return;
+  }
+  case ExprKind::Unary: {
+    const UnaryExpr *U = ast_cast<UnaryExpr>(E);
+    OS << (U->getOp() == UnaryOp::Not ? '!' : '-');
+    dumpExprShort(U->getSub(), OS);
+    return;
+  }
+  case ExprKind::Binary: {
+    const BinaryExpr *B = ast_cast<BinaryExpr>(E);
+    OS << '(';
+    dumpExprShort(B->getLHS(), OS);
+    OS << ' ' << binaryOpSpelling(B->getOp()) << ' ';
+    dumpExprShort(B->getRHS(), OS);
+    OS << ')';
+    return;
+  }
+  case ExprKind::RecordLit: {
+    const RecordLitExpr *R = ast_cast<RecordLitExpr>(E);
+    OS << (R->isMutableLit() ? "#{" : "{");
+    for (size_t I = 0; I != R->getElems().size(); ++I) {
+      if (I)
+        OS << ", ";
+      dumpExprShort(R->getElems()[I], OS);
+    }
+    OS << '}';
+    return;
+  }
+  case ExprKind::UnionLit: {
+    const UnionLitExpr *U = ast_cast<UnionLitExpr>(E);
+    OS << (U->isMutableLit() ? "#{" : "{") << U->getFieldName() << " |> ";
+    dumpExprShort(U->getValue(), OS);
+    OS << '}';
+    return;
+  }
+  case ExprKind::ArrayLit: {
+    const ArrayLitExpr *A = ast_cast<ArrayLitExpr>(E);
+    OS << (A->isMutableLit() ? "#{" : "{");
+    dumpExprShort(A->getSize(), OS);
+    OS << " -> ";
+    dumpExprShort(A->getInit(), OS);
+    OS << '}';
+    return;
+  }
+  case ExprKind::Cast:
+    OS << "cast(";
+    dumpExprShort(ast_cast<CastExpr>(E)->getSub(), OS);
+    OS << ')';
+    return;
+  }
+}
+
+static void dumpPatternShort(const Pattern *P, std::ostringstream &OS) {
+  if (!P) {
+    OS << "<null>";
+    return;
+  }
+  switch (P->getKind()) {
+  case PatternKind::Bind:
+    OS << '$' << ast_cast<BindPattern>(P)->getName();
+    return;
+  case PatternKind::Match:
+    dumpExprShort(ast_cast<MatchPattern>(P)->getValue(), OS);
+    return;
+  case PatternKind::Record: {
+    const RecordPattern *R = ast_cast<RecordPattern>(P);
+    OS << '{';
+    for (size_t I = 0; I != R->getElems().size(); ++I) {
+      if (I)
+        OS << ", ";
+      dumpPatternShort(R->getElems()[I], OS);
+    }
+    OS << '}';
+    return;
+  }
+  case PatternKind::Union: {
+    const UnionPattern *U = ast_cast<UnionPattern>(P);
+    OS << '{' << U->getFieldName() << " |> ";
+    dumpPatternShort(U->getSub(), OS);
+    OS << '}';
+    return;
+  }
+  }
+}
+
+std::string ProcIR::dump() const {
+  std::ostringstream OS;
+  OS << "process " << (Proc ? Proc->Name : "<?>") << " ("
+     << blockPoints().size() << " states)\n";
+  for (unsigned I = 0, E = Insts.size(); I != E; ++I) {
+    const Inst &Ins = Insts[I];
+    OS << "  " << I << ": ";
+    switch (Ins.Kind) {
+    case InstKind::DeclInit:
+      OS << "decl " << Ins.Var->Name << " = ";
+      dumpExprShort(Ins.RHS, OS);
+      break;
+    case InstKind::Store:
+      OS << (Ins.PlainStore ? "store " : "match ");
+      dumpPatternShort(Ins.LHS, OS);
+      OS << " = ";
+      dumpExprShort(Ins.RHS, OS);
+      break;
+    case InstKind::Branch:
+      OS << "br ";
+      dumpExprShort(Ins.Cond, OS);
+      OS << " else -> " << Ins.Target;
+      break;
+    case InstKind::Jump:
+      OS << "jmp -> " << Ins.Target;
+      break;
+    case InstKind::Block:
+      OS << "block";
+      for (const IRCase &Case : Ins.Cases) {
+        OS << "\n       case ";
+        if (Case.Guard) {
+          OS << '(';
+          dumpExprShort(Case.Guard, OS);
+          OS << ") ";
+        }
+        OS << (Case.IsIn ? "in(" : "out(") << Case.Channel->Name << ", ";
+        if (Case.IsIn)
+          dumpPatternShort(Case.Pat, OS);
+        else
+          dumpExprShort(Case.Out, OS);
+        OS << ") -> " << Case.Target;
+        if (Case.LazyOut)
+          OS << " [lazy]";
+        if (Case.ElideRecordAlloc)
+          OS << " [elide]";
+      }
+      break;
+    case InstKind::Link:
+      OS << "link ";
+      dumpExprShort(Ins.RHS, OS);
+      break;
+    case InstKind::Unlink:
+      OS << "unlink ";
+      dumpExprShort(Ins.RHS, OS);
+      break;
+    case InstKind::Assert:
+      OS << "assert ";
+      dumpExprShort(Ins.Cond, OS);
+      break;
+    case InstKind::Halt:
+      OS << "halt";
+      break;
+    }
+    OS << '\n';
+  }
+  return OS.str();
+}
+
+std::string ModuleIR::dump() const {
+  std::string Out;
+  for (const ProcIR &P : Procs)
+    Out += P.dump();
+  return Out;
+}

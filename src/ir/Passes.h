@@ -1,0 +1,69 @@
+//===--- Passes.h - IR optimization passes ----------------------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Optimization passes over the state-machine IR, reproducing §6.1:
+///
+///  * jump threading and unreachable-code compaction (the per-process
+///    "traditional optimizations" the ESP compiler performs before
+///    emitting C),
+///  * dead-store elimination driven by a per-slot liveness dataflow (the
+///    paper's copy propagation / dead code elimination pair: a copy whose
+///    destination is dead is removed),
+///  * allocation sinking: out-case expressions that allocate are marked
+///    lazy so no allocation happens when another alternative commits,
+///  * record-allocation elision: when an out expression is a record
+///    literal and every reader of the channel destructures it with a
+///    record pattern, the record shell is never allocated.
+///
+/// The SPIN translation (and hence the model checker) runs on the
+/// *unoptimized* IR, matching the paper's choice to translate right after
+/// type checking (§5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_IR_PASSES_H
+#define ESP_IR_PASSES_H
+
+#include "ir/IR.h"
+
+namespace esp {
+
+/// Which passes to run; used directly by the ablation benchmarks.
+struct OptOptions {
+  bool ThreadJumps = true;
+  bool EliminateDeadStores = true;
+  bool SinkAllocations = true;
+  bool ElideRecordAllocs = true;
+
+  static OptOptions none() {
+    OptOptions O;
+    O.ThreadJumps = O.EliminateDeadStores = O.SinkAllocations =
+        O.ElideRecordAllocs = false;
+    return O;
+  }
+  static OptOptions all() { return OptOptions(); }
+};
+
+/// Counters reported by optimizeModule for tests and ablation benches.
+struct OptStats {
+  unsigned JumpsThreaded = 0;
+  unsigned DeadStoresRemoved = 0;
+  unsigned InstsRemoved = 0;
+  unsigned CasesLazified = 0;
+  unsigned CasesElided = 0;
+};
+
+/// Runs the selected passes in place and returns what they did.
+OptStats optimizeModule(ModuleIR &Module, const OptOptions &Options);
+
+/// Per-instruction live-out slot sets for one process (bit I of word I/64
+/// is slot I). Exposed for unit tests of the dataflow.
+std::vector<std::vector<uint64_t>> computeLiveOut(const ProcIR &Proc);
+
+} // namespace esp
+
+#endif // ESP_IR_PASSES_H

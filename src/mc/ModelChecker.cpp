@@ -1,0 +1,300 @@
+//===--- ModelChecker.cpp - Explicit-state model checker --------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mc/ModelChecker.h"
+
+#include "support/StringExtras.h"
+
+#include <chrono>
+#include <random>
+#include <sstream>
+#include <unordered_set>
+
+using namespace esp;
+
+namespace {
+
+/// Shared search harness for the three modes.
+class Search {
+public:
+  Search(const ModuleIR &Module, const McOptions &Options)
+      : Module(Module), Options(Options) {}
+
+  McResult run() {
+    auto Start = std::chrono::steady_clock::now();
+    McResult Result;
+    switch (Options.Mode) {
+    case SearchMode::Exhaustive:
+    case SearchMode::BitState:
+      Result = dfs();
+      break;
+    case SearchMode::Simulation:
+      Result = simulate();
+      break;
+    }
+    Result.Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+    return Result;
+  }
+
+private:
+  MachineOptions machineOptions() const {
+    MachineOptions MO;
+    MO.MaxObjects = Options.MaxObjects;
+    MO.ReuseObjectIds = true;
+    MO.DeepCopyTransfers = true;
+    return MO;
+  }
+
+  /// Checks the machine's current state for violations; fills \p Result
+  /// and returns true when one is found.
+  bool checkState(Machine &M, McResult &Result) {
+    if (M.error()) {
+      Result.Verdict = McVerdict::Violation;
+      Result.Violation = M.error();
+      return true;
+    }
+    if (Options.CheckLeaks) {
+      unsigned Leaked = M.countLeakedObjects();
+      if (Leaked > 0) {
+        Result.Verdict = McVerdict::Violation;
+        Result.LeakedObjects = Leaked;
+        Result.Violation.Kind = RuntimeErrorKind::OutOfObjects;
+        Result.Violation.Message =
+            std::to_string(Leaked) + " object(s) leaked (live but "
+                                     "unreachable from any process)";
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool checkDeadlock(Machine &M, const std::vector<Move> &Moves,
+                     McResult &Result) {
+    if (!Options.CheckDeadlock || !Moves.empty() || M.error())
+      return false;
+    bool AnyBlocked = false;
+    for (unsigned I = 0, E = M.numProcesses(); I != E; ++I)
+      AnyBlocked |= M.proc(I).St == ProcState::Status::Blocked;
+    if (!AnyBlocked)
+      return false; // All processes finished: normal termination.
+    Result.Verdict = McVerdict::Violation;
+    Result.Deadlock = true;
+    Result.Violation.Kind = RuntimeErrorKind::None;
+    Result.Violation.Message = "deadlock: blocked processes with no "
+                               "enabled move";
+    return true;
+  }
+
+  //===--- Exhaustive / bit-state DFS --------------------------------------===//
+
+  struct Frame {
+    Machine::Snapshot Snap;
+    std::vector<Move> Moves;
+    size_t NextMove = 0;
+    std::string TakenLabel;
+  };
+
+  bool wasVisited(const std::string &Key) {
+    if (Options.Mode == SearchMode::Exhaustive)
+      return !VisitedExact.insert(Key).second;
+    // Bit-state hashing: two independent hash functions over one bit
+    // table (SPIN's supertrace uses the same trick to cut collisions).
+    uint64_t Mask = (uint64_t(1) << Options.BitStateBits) - 1;
+    uint64_t H1 = fnv1aHash(Key.data(), Key.size()) & Mask;
+    uint64_t H2 =
+        fnv1aHash(Key.data(), Key.size(), 0x9e3779b97f4a7c15ULL) & Mask;
+    bool Seen = BitTable[H1 / 8] & (1 << (H1 % 8));
+    bool Seen2 = BitTable[H2 / 8] & (1 << (H2 % 8));
+    BitTable[H1 / 8] |= 1 << (H1 % 8);
+    BitTable[H2 / 8] |= 1 << (H2 % 8);
+    return Seen && Seen2;
+  }
+
+  size_t visitedMemory() const {
+    if (Options.Mode == SearchMode::BitState)
+      return BitTable.size();
+    size_t Bytes = 0;
+    for (const std::string &Key : VisitedExact)
+      Bytes += Key.size() + sizeof(std::string) + 16; // Bucket overhead.
+    return Bytes;
+  }
+
+  void buildTrace(const std::vector<Frame> &Stack, McResult &Result) {
+    for (const Frame &F : Stack)
+      if (!F.TakenLabel.empty())
+        Result.Trace.push_back(F.TakenLabel);
+  }
+
+  McResult dfs() {
+    McResult Result;
+    if (Options.Mode == SearchMode::BitState)
+      BitTable.assign((size_t(1) << Options.BitStateBits) / 8, 0);
+
+    Machine M(Module, machineOptions());
+    M.setEnvModel(Options.Env);
+    M.start();
+    Result.StateVectorBytes = M.serializeState().size();
+    ++Result.StatesExplored;
+    if (checkState(M, Result))
+      return Result;
+    wasVisited(M.serializeState());
+    ++Result.StatesStored;
+
+    std::vector<Frame> Stack;
+    {
+      Frame Root;
+      Root.Snap = M.snapshot();
+      Root.Moves = M.enumerateMoves();
+      if (checkState(M, Result) || checkDeadlock(M, Root.Moves, Result))
+        return Result;
+      Stack.push_back(std::move(Root));
+    }
+
+    while (!Stack.empty()) {
+      Frame &Top = Stack.back();
+      if (Top.NextMove >= Top.Moves.size()) {
+        Stack.pop_back();
+        continue;
+      }
+      if (Result.StatesExplored >= Options.MaxStates) {
+        Result.Verdict = McVerdict::StateLimit;
+        Result.MemoryBytes = visitedMemory();
+        return Result;
+      }
+      Move Chosen = Top.Moves[Top.NextMove++];
+      M.restore(Top.Snap);
+      M.applyMove(Chosen);
+      ++Result.Transitions;
+      ++Result.StatesExplored;
+      if (checkState(M, Result)) {
+        Top.TakenLabel = Chosen.str(Module);
+        buildTrace(Stack, Result);
+        Result.MemoryBytes = visitedMemory();
+        return Result;
+      }
+      std::string Key = M.serializeState();
+      if (wasVisited(Key))
+        continue;
+      ++Result.StatesStored;
+      Frame Next;
+      Next.Snap = M.snapshot();
+      Next.Moves = M.enumerateMoves();
+      Top.TakenLabel = Chosen.str(Module);
+      if (checkState(M, Result) ||
+          checkDeadlock(M, Next.Moves, Result)) {
+        buildTrace(Stack, Result);
+        Result.Trace.push_back(Chosen.str(Module));
+        Result.MemoryBytes = visitedMemory();
+        return Result;
+      }
+      Top.TakenLabel.clear();
+      Next.TakenLabel.clear();
+      if (Stack.size() >= Options.MaxDepth) {
+        Stack.pop_back();
+        continue;
+      }
+      if (Stack.size() + 1 > Result.MaxDepthReached)
+        Result.MaxDepthReached = static_cast<unsigned>(Stack.size() + 1);
+      Stack.push_back(std::move(Next));
+    }
+    Result.Verdict = Options.Mode == SearchMode::Exhaustive
+                         ? McVerdict::OK
+                         : McVerdict::PartialOK;
+    Result.MemoryBytes = visitedMemory();
+    return Result;
+  }
+
+  //===--- Random simulation ------------------------------------------------===//
+
+  McResult simulate() {
+    McResult Result;
+    std::mt19937_64 Rng(Options.Seed);
+    for (uint64_t Run = 0; Run != Options.SimulationRuns; ++Run) {
+      Machine M(Module, machineOptions());
+      M.setEnvModel(Options.Env);
+      M.start();
+      if (Run == 0)
+        Result.StateVectorBytes = M.serializeState().size();
+      std::vector<std::string> Trace;
+      for (unsigned Depth = 0; Depth != Options.SimulationDepth; ++Depth) {
+        ++Result.StatesExplored;
+        if (checkState(M, Result)) {
+          Result.Trace = Trace;
+          return Result;
+        }
+        std::vector<Move> Moves = M.enumerateMoves();
+        if (checkState(M, Result) || checkDeadlock(M, Moves, Result)) {
+          Result.Trace = Trace;
+          return Result;
+        }
+        if (Moves.empty())
+          break; // Normal termination.
+        const Move &Chosen =
+            Moves[std::uniform_int_distribution<size_t>(0, Moves.size() -
+                                                               1)(Rng)];
+        Trace.push_back(Chosen.str(Module));
+        M.applyMove(Chosen);
+        ++Result.Transitions;
+        if (Depth + 1 > Result.MaxDepthReached)
+          Result.MaxDepthReached = Depth + 1;
+      }
+    }
+    Result.Verdict = McVerdict::PartialOK;
+    return Result;
+  }
+
+  const ModuleIR &Module;
+  const McOptions &Options;
+  std::unordered_set<std::string> VisitedExact;
+  std::vector<uint8_t> BitTable;
+};
+
+} // namespace
+
+McResult esp::checkModel(const ModuleIR &Module, const McOptions &Options) {
+  Search S(Module, Options);
+  return S.run();
+}
+
+std::string McResult::report() const {
+  std::ostringstream OS;
+  switch (Verdict) {
+  case McVerdict::OK:
+    OS << "verification completed: no errors found\n";
+    break;
+  case McVerdict::PartialOK:
+    OS << "partial search completed: no errors found\n";
+    break;
+  case McVerdict::StateLimit:
+    OS << "search truncated at state limit\n";
+    break;
+  case McVerdict::Violation:
+    if (Deadlock)
+      OS << "violation: deadlock\n";
+    else
+      OS << "violation: " << runtimeErrorKindName(Violation.Kind) << "\n";
+    if (!Violation.Message.empty())
+      OS << "  " << Violation.Message << "\n";
+    break;
+  }
+  OS << "state-vector " << StateVectorBytes << " byte, depth reached "
+     << MaxDepthReached << "\n";
+  OS << StatesExplored << " states, explored\n";
+  OS << StatesStored << " states, stored\n";
+  OS << Transitions << " transitions\n";
+  OS << "memory usage (visited set): " << (MemoryBytes / 1024.0 / 1024.0)
+     << " Mbyte\n";
+  OS << "elapsed " << Seconds << " s\n";
+  if (!Trace.empty()) {
+    OS << "counterexample (" << Trace.size() << " moves):\n";
+    for (const std::string &Step : Trace)
+      OS << "  " << Step << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,91 @@
+//===--- ModelChecker.h - Explicit-state model checker ----------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An explicit-state model checker for ESP programs, standing in for SPIN
+/// (§5). It explores the interleavings of the Machine in verification
+/// mode (deep-copy transfers — the semantic model the paper's SPIN
+/// translation uses) and supports SPIN's three exploration modes (§5.1):
+///
+///  * exhaustive: depth-first search with exact visited-state storage,
+///  * bit-state hashing: partial search storing one bit per hashed state,
+///  * simulation: random walks (the mode the paper used for development).
+///
+/// Properties checked: runtime errors (assertions, memory safety, match
+/// failures), deadlock, and memory leaks (directly via a reachability
+/// sweep, and indirectly via bounded-object-table exhaustion, §5.2).
+/// Violations come with a counterexample trace of moves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_MC_MODELCHECKER_H
+#define ESP_MC_MODELCHECKER_H
+
+#include "runtime/Machine.h"
+
+#include <string>
+#include <vector>
+
+namespace esp {
+
+enum class SearchMode : uint8_t { Exhaustive, BitState, Simulation };
+
+struct McOptions {
+  SearchMode Mode = SearchMode::Exhaustive;
+  uint64_t MaxStates = 10'000'000;
+  unsigned MaxDepth = 100'000;
+  /// Object-table bound; exhaustion flags a leak (§5.2). 0 = unbounded.
+  uint32_t MaxObjects = 256;
+  /// Report live-but-unreachable objects as violations.
+  bool CheckLeaks = true;
+  bool CheckDeadlock = true;
+  /// log2 of the bit-state table size (BitState mode).
+  unsigned BitStateBits = 24;
+  /// Number and length of random walks (Simulation mode).
+  uint64_t SimulationRuns = 256;
+  unsigned SimulationDepth = 4096;
+  uint64_t Seed = 0x9e3779b97f4a7c15ULL;
+  /// Environment model for open programs (not owned).
+  EnvModel *Env = nullptr;
+};
+
+enum class McVerdict : uint8_t {
+  OK,             ///< Full search completed with no violation.
+  Violation,      ///< A violation was found (see Violation/Deadlock/Leaked).
+  StateLimit,     ///< Search stopped at MaxStates (partial result).
+  PartialOK,      ///< Partial search (bit-state/simulation) saw no violation.
+};
+
+struct McResult {
+  McVerdict Verdict = McVerdict::OK;
+  uint64_t StatesExplored = 0;
+  uint64_t StatesStored = 0;
+  uint64_t Transitions = 0;
+  unsigned MaxDepthReached = 0;
+  size_t StateVectorBytes = 0;   ///< Size of the serialized root state.
+  size_t MemoryBytes = 0;        ///< Estimated visited-set memory.
+  double Seconds = 0.0;
+
+  // Violation details.
+  RuntimeError Violation;
+  bool Deadlock = false;
+  unsigned LeakedObjects = 0;
+  std::vector<std::string> Trace;
+
+  bool foundViolation() const { return Verdict == McVerdict::Violation; }
+
+  /// SPIN-like textual report for tools and benches.
+  std::string report() const;
+};
+
+/// Runs the model checker over \p Module (which should be lowered
+/// *without* optimizations, matching the paper's early translation,
+/// §5.2).
+McResult checkModel(const ModuleIR &Module, const McOptions &Options);
+
+} // namespace esp
+
+#endif // ESP_MC_MODELCHECKER_H

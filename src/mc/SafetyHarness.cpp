@@ -1,0 +1,145 @@
+//===--- SafetyHarness.cpp - Per-process memory-safety verification ---------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mc/SafetyHarness.h"
+
+#include "frontend/PatternAnalysis.h"
+
+#include <cassert>
+
+using namespace esp;
+
+static constexpr uint64_t VariantCap = 1 << 20;
+
+uint64_t BoundedEnvModel::countVariants(const Type *T) const {
+  switch (T->getKind()) {
+  case TypeKind::Int:
+    return IntDomain.size();
+  case TypeKind::Bool:
+    return 2;
+  case TypeKind::Record: {
+    uint64_t Product = 1;
+    for (const TypeField &F : T->getFields()) {
+      Product *= countVariants(F.FieldType);
+      if (Product >= VariantCap)
+        return VariantCap;
+    }
+    return Product;
+  }
+  case TypeKind::Union: {
+    uint64_t Sum = 0;
+    for (const TypeField &F : T->getFields()) {
+      Sum += countVariants(F.FieldType);
+      if (Sum >= VariantCap)
+        return VariantCap;
+    }
+    return Sum;
+  }
+  case TypeKind::Array: {
+    uint64_t Product = 1;
+    uint64_t PerElem = countVariants(T->getElementType());
+    for (unsigned I = 0; I != ArrayLen; ++I) {
+      Product *= PerElem;
+      if (Product >= VariantCap)
+        return VariantCap;
+    }
+    return Product;
+  }
+  }
+  return 1;
+}
+
+unsigned BoundedEnvModel::numVariants(const ChannelDecl *Chan) {
+  if (!Driven.count(Chan->Name))
+    return 0;
+  return static_cast<unsigned>(countVariants(Chan->ElemType));
+}
+
+Value BoundedEnvModel::buildVariant(const Type *T, uint64_t Index,
+                                    Heap &H) const {
+  switch (T->getKind()) {
+  case TypeKind::Int:
+    return Value::makeInt(IntDomain[Index % IntDomain.size()]);
+  case TypeKind::Bool:
+    return Value::makeBool(Index % 2 != 0);
+  case TypeKind::Record: {
+    std::optional<Value> Obj = H.allocate(T, T->getFields().size());
+    assert(Obj && "env allocation failed; raise MaxObjects");
+    for (size_t I = 0, N = T->getFields().size(); I != N; ++I) {
+      uint64_t N_I = countVariants(T->getFields()[I].FieldType);
+      Value Elem = buildVariant(T->getFields()[I].FieldType, Index % N_I, H);
+      Index /= N_I;
+      H.deref(*Obj)->Elems[I] = Elem;
+    }
+    return *Obj;
+  }
+  case TypeKind::Union: {
+    size_t Arm = 0;
+    for (const TypeField &F : T->getFields()) {
+      uint64_t N_Arm = countVariants(F.FieldType);
+      if (Index < N_Arm)
+        break;
+      Index -= N_Arm;
+      ++Arm;
+    }
+    if (Arm >= T->getFields().size())
+      Arm = T->getFields().size() - 1;
+    std::optional<Value> Obj = H.allocate(T, 1);
+    assert(Obj && "env allocation failed; raise MaxObjects");
+    Value Sub = buildVariant(T->getFields()[Arm].FieldType, Index, H);
+    HeapObject *ObjPtr = H.deref(*Obj);
+    ObjPtr->Arm = static_cast<int32_t>(Arm);
+    ObjPtr->Elems[0] = Sub;
+    return *Obj;
+  }
+  case TypeKind::Array: {
+    std::optional<Value> Obj = H.allocate(T, ArrayLen);
+    assert(Obj && "env allocation failed; raise MaxObjects");
+    uint64_t PerElem = countVariants(T->getElementType());
+    for (unsigned I = 0; I != ArrayLen; ++I) {
+      Value Elem = buildVariant(T->getElementType(), Index % PerElem, H);
+      Index /= PerElem;
+      H.deref(*Obj)->Elems[I] = Elem;
+    }
+    return *Obj;
+  }
+  }
+  return Value::makeInt(0);
+}
+
+Value BoundedEnvModel::makeVariant(const ChannelDecl *Chan, unsigned Index,
+                                   Heap &H) {
+  return buildVariant(Chan->ElemType, Index, H);
+}
+
+McResult esp::verifyProcessMemorySafety(const Program &Prog,
+                                        const std::string &ProcessName,
+                                        const SafetyOptions &Options) {
+  // Lower the whole program unoptimized (the paper translates to SPIN
+  // right after type checking, §5.2), then isolate the target process.
+  ModuleIR Full = lowerProgram(Prog);
+  ModuleIR Isolated;
+  Isolated.Prog = Full.Prog;
+  for (ProcIR &P : Full.Procs)
+    if (P.Proc->Name == ProcessName)
+      Isolated.Procs.push_back(std::move(P));
+  assert(!Isolated.Procs.empty() && "no such process");
+
+  // The environment drives every channel the process receives from.
+  std::set<std::string> Driven;
+  for (const Inst &I : Isolated.Procs[0].Insts) {
+    if (I.Kind != InstKind::Block)
+      continue;
+    for (const IRCase &Case : I.Cases)
+      if (Case.IsIn)
+        Driven.insert(Case.Channel->Name);
+  }
+
+  BoundedEnvModel Env(Driven, Options.IntDomain, Options.ArrayLen);
+  McOptions Mc = Options.Mc;
+  Mc.Env = &Env;
+  return checkModel(Isolated, Mc);
+}

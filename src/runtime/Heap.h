@@ -1,0 +1,150 @@
+//===--- Heap.h - ESP runtime values and refcounted heap --------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ESP value model: scalars are immediate; records, unions, and
+/// arrays are reference-counted heap objects (§4.4). The heap implements
+/// the paper's explicit management scheme:
+///
+///  * allocation sets the reference count to 1,
+///  * `link` increments, `unlink` decrements and frees at zero,
+///    recursively unlinking the objects pointed to,
+///  * every access checks that the object is live (the assertion the ESP
+///    compiler inserts in the SPIN translation, §5.2),
+///  * the object table can be bounded (`MaxObjects`), in which case
+///    exhaustion signals a leak — the paper's leak-detection mechanism.
+///
+/// References carry a generation counter so use-after-free is detected
+/// even when object slots are reused.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_RUNTIME_HEAP_H
+#define ESP_RUNTIME_HEAP_H
+
+#include "frontend/Type.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace esp {
+
+/// One ESP runtime value: an int, a bool, or a reference to a heap
+/// object. Default-constructed values are Uninit; evaluating one is a
+/// runtime error (ESP requires initialization at declaration).
+struct Value {
+  enum class Kind : uint8_t { Uninit, Int, Bool, Ref };
+
+  Kind K = Kind::Uninit;
+  int64_t Scalar = 0;
+  uint32_t Ref = 0;
+  uint32_t Gen = 0;
+
+  static Value makeInt(int64_t V) {
+    Value Out;
+    Out.K = Kind::Int;
+    Out.Scalar = V;
+    return Out;
+  }
+  static Value makeBool(bool V) {
+    Value Out;
+    Out.K = Kind::Bool;
+    Out.Scalar = V ? 1 : 0;
+    return Out;
+  }
+  static Value makeRef(uint32_t Index, uint32_t Gen) {
+    Value Out;
+    Out.K = Kind::Ref;
+    Out.Ref = Index;
+    Out.Gen = Gen;
+    return Out;
+  }
+
+  bool isRef() const { return K == Kind::Ref; }
+  bool isUninit() const { return K == Kind::Uninit; }
+  bool asBool() const { return Scalar != 0; }
+
+  /// Scalar equality; references compare by identity.
+  friend bool operator==(const Value &A, const Value &B) {
+    if (A.K != B.K)
+      return false;
+    if (A.K == Kind::Ref)
+      return A.Ref == B.Ref && A.Gen == B.Gen;
+    return A.Scalar == B.Scalar;
+  }
+};
+
+/// One heap object: a record (Elems = fields), array (Elems = elements),
+/// or union (Elems has a single entry, Arm names the valid field).
+struct HeapObject {
+  const Type *ObjType = nullptr;
+  uint32_t RefCount = 0;
+  uint32_t Gen = 0;
+  bool Live = false;
+  int32_t Arm = -1;
+  std::vector<Value> Elems;
+};
+
+/// Outcomes of heap operations that can fail.
+enum class HeapStatus : uint8_t {
+  OK,
+  DeadObject,   ///< Access/link/unlink of a freed object.
+  OutOfObjects, ///< Bounded table exhausted (leak indicator, §5.2).
+};
+
+/// The reference-counted object heap. Copyable so the model checker can
+/// snapshot machine states.
+class Heap {
+public:
+  /// \p MaxObjects of 0 means unbounded. When \p ReuseIds is true, freed
+  /// slots are recycled (the paper's reclaimed objectIds); generations
+  /// keep use-after-free detectable.
+  explicit Heap(uint32_t MaxObjects = 0, bool ReuseIds = true)
+      : MaxObjects(MaxObjects), ReuseIds(ReuseIds) {}
+
+  /// Allocates an object with \p NumElems uninitialized elements and
+  /// reference count 1. Returns std::nullopt when the bounded table is
+  /// exhausted.
+  std::optional<Value> allocate(const Type *T, size_t NumElems);
+
+  /// Returns the object behind \p V if it is live; null otherwise.
+  HeapObject *deref(const Value &V);
+  const HeapObject *deref(const Value &V) const;
+
+  bool isLive(const Value &V) const { return deref(V) != nullptr; }
+
+  /// rc++ (the `link` primitive). Fails on dead objects.
+  HeapStatus link(const Value &V);
+
+  /// rc-- (the `unlink` primitive); frees at zero and recursively unlinks
+  /// the objects pointed to (§4.4). Fails on dead objects.
+  HeapStatus unlink(const Value &V);
+
+  // Statistics for the benchmarks and the verifier report.
+  uint64_t getTotalAllocations() const { return TotalAllocations; }
+  uint32_t getLiveCount() const { return LiveCount; }
+  uint32_t getHighWater() const { return HighWater; }
+  uint32_t getMaxObjects() const { return MaxObjects; }
+
+  /// All live object indices (for leak sweeps and serialization).
+  const std::vector<HeapObject> &objects() const { return Objects; }
+
+private:
+  void freeObject(uint32_t Index);
+
+  uint32_t MaxObjects;
+  bool ReuseIds;
+  std::vector<HeapObject> Objects;
+  std::vector<uint32_t> FreeList;
+  uint64_t TotalAllocations = 0;
+  uint32_t LiveCount = 0;
+  uint32_t HighWater = 0;
+};
+
+} // namespace esp
+
+#endif // ESP_RUNTIME_HEAP_H

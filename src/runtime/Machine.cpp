@@ -1,0 +1,1597 @@
+//===--- Machine.cpp - ESP interpreter and scheduler ------------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Machine.h"
+
+#include "frontend/Sema.h"
+
+#include <cassert>
+#include <sstream>
+#include <unordered_map>
+
+using namespace esp;
+
+const char *esp::runtimeErrorKindName(RuntimeErrorKind Kind) {
+  switch (Kind) {
+  case RuntimeErrorKind::None:
+    return "none";
+  case RuntimeErrorKind::AssertFailed:
+    return "assertion failed";
+  case RuntimeErrorKind::UseAfterFree:
+    return "use after free";
+  case RuntimeErrorKind::MatchFailed:
+    return "destructuring match failed";
+  case RuntimeErrorKind::NoMatchingPattern:
+    return "message matched no receive pattern";
+  case RuntimeErrorKind::AmbiguousDispatch:
+    return "message matched patterns of multiple readers";
+  case RuntimeErrorKind::OutOfObjects:
+    return "object table exhausted (possible memory leak)";
+  case RuntimeErrorKind::DivideByZero:
+    return "division by zero";
+  case RuntimeErrorKind::IndexOutOfBounds:
+    return "array index out of bounds";
+  case RuntimeErrorKind::InvalidUnionField:
+    return "access to invalid union field";
+  case RuntimeErrorKind::UninitializedRead:
+    return "read of uninitialized value";
+  case RuntimeErrorKind::StepLimit:
+    return "local step limit exceeded";
+  }
+  return "unknown";
+}
+
+std::string Move::str(const ModuleIR &Module) const {
+  std::ostringstream OS;
+  auto procName = [&](int Index) -> std::string {
+    if (Index < 0)
+      return "<env>";
+    return Module.Procs[Index].Proc->Name;
+  };
+  const char *ChanName = "?";
+  for (const std::unique_ptr<ChannelDecl> &C : Module.Prog->Channels)
+    if (C->Id == Channel)
+      ChanName = C->Name.c_str();
+  switch (K) {
+  case Kind::Rendezvous:
+    OS << procName(Writer) << " -> " << procName(Reader) << " on "
+       << ChanName;
+    break;
+  case Kind::EnvSend:
+    OS << "env[" << EnvVariant << "] -> " << procName(Reader) << " on "
+       << ChanName;
+    break;
+  case Kind::EnvRecv:
+    OS << procName(Writer) << " -> env on " << ChanName;
+    break;
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Construction and setup
+//===----------------------------------------------------------------------===//
+
+Machine::Machine(const ModuleIR &Module, MachineOptions Options)
+    : Module(Module), Options(Options),
+      H(Options.MaxObjects, Options.ReuseObjectIds) {
+  Procs.resize(Module.Procs.size());
+  Writers.resize(Module.Prog->Channels.size());
+  Readers.resize(Module.Prog->Channels.size());
+}
+
+void Machine::bindWriter(const std::string &InterfaceName,
+                         std::unique_ptr<ExternalWriter> Writer) {
+  InterfaceDecl *Iface = Module.Prog->findInterface(InterfaceName);
+  assert(Iface && Iface->ExternalWrites && "not an external-writer interface");
+  Writers[Iface->Channel->Id] = std::move(Writer);
+}
+
+void Machine::bindReader(const std::string &InterfaceName,
+                         std::unique_ptr<ExternalReader> Reader) {
+  InterfaceDecl *Iface = Module.Prog->findInterface(InterfaceName);
+  assert(Iface && !Iface->ExternalWrites &&
+         "not an external-reader interface");
+  Readers[Iface->Channel->Id] = std::move(Reader);
+}
+
+void Machine::start() {
+  assert(!Started && "machine already started");
+  Started = true;
+  for (unsigned I = 0, E = Procs.size(); I != E; ++I) {
+    ProcState &P = Procs[I];
+    P.PC = 0;
+    P.St = ProcState::Status::Ready;
+    P.Slots.assign(Module.Procs[I].Proc->NumSlots, Value());
+    runToBlock(I);
+    if (Error)
+      return;
+  }
+}
+
+void Machine::fail(RuntimeErrorKind Kind, SourceLoc Loc, int ProcIndex,
+                   std::string Message) {
+  if (Error)
+    return; // Keep the first error.
+  Error.Kind = Kind;
+  Error.Loc = Loc;
+  Error.ProcessIndex = ProcIndex;
+  Error.Message = std::move(Message);
+  if (ProcIndex >= 0)
+    Procs[ProcIndex].St = ProcState::Status::Failed;
+}
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool exprIsAllocation(const Expr *E) {
+  switch (E->getKind()) {
+  case ExprKind::RecordLit:
+  case ExprKind::UnionLit:
+  case ExprKind::ArrayLit:
+  case ExprKind::Cast:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+std::optional<Value> Machine::evalExpr(unsigned ProcIndex, const Expr *E) {
+  ProcState &P = Procs[ProcIndex];
+  switch (E->getKind()) {
+  case ExprKind::IntLit:
+    return Value::makeInt(ast_cast<IntLitExpr>(E)->getValue());
+  case ExprKind::BoolLit:
+    return Value::makeBool(ast_cast<BoolLitExpr>(E)->getValue());
+  case ExprKind::SelfId:
+    return Value::makeInt(Module.Procs[ProcIndex].Proc->ProcessId);
+  case ExprKind::VarRef: {
+    const VarRefExpr *V = ast_cast<VarRefExpr>(E);
+    if (const ConstDecl *C = V->getConst())
+      return C->ConstType->isBool() ? Value::makeBool(C->Value != 0)
+                                    : Value::makeInt(C->Value);
+    const Value &Slot = P.Slots[V->getVar()->Slot];
+    if (Slot.isUninit()) {
+      fail(RuntimeErrorKind::UninitializedRead, E->getLoc(), ProcIndex,
+           "read of uninitialized variable '" + V->getName() + "'");
+      return std::nullopt;
+    }
+    return Slot;
+  }
+  case ExprKind::Field: {
+    const FieldExpr *F = ast_cast<FieldExpr>(E);
+    std::optional<Value> Base = evalExpr(ProcIndex, F->getBase());
+    if (!Base)
+      return std::nullopt;
+    HeapObject *Obj = H.deref(*Base);
+    if (!Obj) {
+      fail(RuntimeErrorKind::UseAfterFree, E->getLoc(), ProcIndex,
+           "field access on freed object");
+      return std::nullopt;
+    }
+    if (Obj->ObjType->isUnion()) {
+      if (Obj->Arm != F->getFieldIndex()) {
+        fail(RuntimeErrorKind::InvalidUnionField, E->getLoc(), ProcIndex,
+             "union field '" + F->getFieldName() + "' is not the valid field");
+        return std::nullopt;
+      }
+      return Obj->Elems[0];
+    }
+    return Obj->Elems[F->getFieldIndex()];
+  }
+  case ExprKind::Index: {
+    const IndexExpr *I = ast_cast<IndexExpr>(E);
+    std::optional<Value> Base = evalExpr(ProcIndex, I->getBase());
+    std::optional<Value> Index = evalExpr(ProcIndex, I->getIndex());
+    if (!Base || !Index)
+      return std::nullopt;
+    HeapObject *Obj = H.deref(*Base);
+    if (!Obj) {
+      fail(RuntimeErrorKind::UseAfterFree, E->getLoc(), ProcIndex,
+           "index access on freed object");
+      return std::nullopt;
+    }
+    if (Index->Scalar < 0 ||
+        Index->Scalar >= static_cast<int64_t>(Obj->Elems.size())) {
+      fail(RuntimeErrorKind::IndexOutOfBounds, E->getLoc(), ProcIndex,
+           "index " + std::to_string(Index->Scalar) + " out of bounds for "
+               "array of " + std::to_string(Obj->Elems.size()));
+      return std::nullopt;
+    }
+    return Obj->Elems[Index->Scalar];
+  }
+  case ExprKind::Unary: {
+    const UnaryExpr *U = ast_cast<UnaryExpr>(E);
+    std::optional<Value> Sub = evalExpr(ProcIndex, U->getSub());
+    if (!Sub)
+      return std::nullopt;
+    if (U->getOp() == UnaryOp::Not)
+      return Value::makeBool(!Sub->asBool());
+    return Value::makeInt(-Sub->Scalar);
+  }
+  case ExprKind::Binary: {
+    const BinaryExpr *B = ast_cast<BinaryExpr>(E);
+    std::optional<Value> L = evalExpr(ProcIndex, B->getLHS());
+    if (!L)
+      return std::nullopt;
+    // Short-circuit logicals.
+    if (B->getOp() == BinaryOp::And && !L->asBool())
+      return Value::makeBool(false);
+    if (B->getOp() == BinaryOp::Or && L->asBool())
+      return Value::makeBool(true);
+    std::optional<Value> R = evalExpr(ProcIndex, B->getRHS());
+    if (!R)
+      return std::nullopt;
+    switch (B->getOp()) {
+    case BinaryOp::Add:
+      return Value::makeInt(L->Scalar + R->Scalar);
+    case BinaryOp::Sub:
+      return Value::makeInt(L->Scalar - R->Scalar);
+    case BinaryOp::Mul:
+      return Value::makeInt(L->Scalar * R->Scalar);
+    case BinaryOp::Div:
+    case BinaryOp::Mod:
+      if (R->Scalar == 0) {
+        fail(RuntimeErrorKind::DivideByZero, E->getLoc(), ProcIndex,
+             "division by zero");
+        return std::nullopt;
+      }
+      return Value::makeInt(B->getOp() == BinaryOp::Div
+                                ? L->Scalar / R->Scalar
+                                : L->Scalar % R->Scalar);
+    case BinaryOp::Lt:
+      return Value::makeBool(L->Scalar < R->Scalar);
+    case BinaryOp::Le:
+      return Value::makeBool(L->Scalar <= R->Scalar);
+    case BinaryOp::Gt:
+      return Value::makeBool(L->Scalar > R->Scalar);
+    case BinaryOp::Ge:
+      return Value::makeBool(L->Scalar >= R->Scalar);
+    case BinaryOp::Eq:
+      return Value::makeBool(L->Scalar == R->Scalar);
+    case BinaryOp::Ne:
+      return Value::makeBool(L->Scalar != R->Scalar);
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      return Value::makeBool(R->asBool());
+    }
+    return std::nullopt;
+  }
+  case ExprKind::RecordLit: {
+    const RecordLitExpr *R = ast_cast<RecordLitExpr>(E);
+    std::optional<Value> Obj = H.allocate(E->getType(), R->getElems().size());
+    if (!Obj) {
+      fail(RuntimeErrorKind::OutOfObjects, E->getLoc(), ProcIndex,
+           "object table exhausted while allocating record");
+      return std::nullopt;
+    }
+    for (size_t I = 0, N = R->getElems().size(); I != N; ++I) {
+      const Expr *Elem = R->getElems()[I];
+      std::optional<Value> V = evalExpr(ProcIndex, Elem);
+      if (!V)
+        return std::nullopt;
+      // Ownership of the construction edge: a freshly allocated child
+      // donates its creation reference; a borrowed child is linked.
+      if (V->isRef() && !exprIsAllocation(Elem)) {
+        if (H.link(*V) != HeapStatus::OK) {
+          fail(RuntimeErrorKind::UseAfterFree, Elem->getLoc(), ProcIndex,
+               "storing freed object into record");
+          return std::nullopt;
+        }
+      }
+      H.deref(*Obj)->Elems[I] = *V;
+    }
+    return Obj;
+  }
+  case ExprKind::UnionLit: {
+    const UnionLitExpr *U = ast_cast<UnionLitExpr>(E);
+    std::optional<Value> Obj = H.allocate(E->getType(), 1);
+    if (!Obj) {
+      fail(RuntimeErrorKind::OutOfObjects, E->getLoc(), ProcIndex,
+           "object table exhausted while allocating union");
+      return std::nullopt;
+    }
+    std::optional<Value> V = evalExpr(ProcIndex, U->getValue());
+    if (!V)
+      return std::nullopt;
+    if (V->isRef() && !exprIsAllocation(U->getValue())) {
+      if (H.link(*V) != HeapStatus::OK) {
+        fail(RuntimeErrorKind::UseAfterFree, U->getValue()->getLoc(),
+             ProcIndex, "storing freed object into union");
+        return std::nullopt;
+      }
+    }
+    HeapObject *ObjPtr = H.deref(*Obj);
+    ObjPtr->Arm = U->getFieldIndex();
+    ObjPtr->Elems[0] = *V;
+    return Obj;
+  }
+  case ExprKind::ArrayLit: {
+    const ArrayLitExpr *A = ast_cast<ArrayLitExpr>(E);
+    std::optional<Value> Size = evalExpr(ProcIndex, A->getSize());
+    if (!Size)
+      return std::nullopt;
+    if (Size->Scalar < 0) {
+      fail(RuntimeErrorKind::IndexOutOfBounds, E->getLoc(), ProcIndex,
+           "negative array size");
+      return std::nullopt;
+    }
+    size_t N = static_cast<size_t>(Size->Scalar);
+    std::optional<Value> Obj = H.allocate(E->getType(), N);
+    if (!Obj) {
+      fail(RuntimeErrorKind::OutOfObjects, E->getLoc(), ProcIndex,
+           "object table exhausted while allocating array");
+      return std::nullopt;
+    }
+    std::optional<Value> Init = evalExpr(ProcIndex, A->getInit());
+    if (!Init)
+      return std::nullopt;
+    if (Init->isRef()) {
+      // N construction edges: the creation reference covers the first
+      // (when fresh); the rest are links.
+      size_t LinksNeeded = exprIsAllocation(A->getInit()) ? N - 1 : N;
+      if (N == 0 && exprIsAllocation(A->getInit())) {
+        // Zero-length array of a fresh object: drop the orphan temp.
+        dropValueTemp(*Init, E->getLoc(), static_cast<int>(ProcIndex));
+        LinksNeeded = 0;
+      }
+      for (size_t I = 0; I != LinksNeeded; ++I) {
+        if (H.link(*Init) != HeapStatus::OK) {
+          fail(RuntimeErrorKind::UseAfterFree, A->getInit()->getLoc(),
+               ProcIndex, "storing freed object into array");
+          return std::nullopt;
+        }
+      }
+    }
+    HeapObject *ObjPtr = H.deref(*Obj);
+    for (size_t I = 0; I != N; ++I)
+      ObjPtr->Elems[I] = *Init;
+    return Obj;
+  }
+  case ExprKind::Cast: {
+    const CastExpr *C = ast_cast<CastExpr>(E);
+    std::optional<Value> Sub = evalExpr(ProcIndex, C->getSub());
+    if (!Sub)
+      return std::nullopt;
+    std::optional<Value> Copy = deepCopy(*Sub);
+    if (!Copy) {
+      if (!Error)
+        fail(RuntimeErrorKind::OutOfObjects, E->getLoc(), ProcIndex,
+             "object table exhausted during cast");
+      return std::nullopt;
+    }
+    if (exprIsAllocation(C->getSub()))
+      dropValueTemp(*Sub, E->getLoc(), static_cast<int>(ProcIndex));
+    return Copy;
+  }
+  }
+  return std::nullopt;
+}
+
+std::optional<Value> Machine::deepCopy(const Value &V) {
+  if (!V.isRef())
+    return V;
+  const HeapObject *Src = H.deref(V);
+  if (!Src) {
+    fail(RuntimeErrorKind::UseAfterFree, SourceLoc(), -1,
+         "deep copy of freed object");
+    return std::nullopt;
+  }
+  const Type *T = Src->ObjType;
+  int32_t Arm = Src->Arm;
+  // Copy the element list first: allocate() may reallocate the object
+  // vector and invalidate Src.
+  std::vector<Value> SrcElems = Src->Elems;
+  std::optional<Value> Obj = H.allocate(T, SrcElems.size());
+  if (!Obj)
+    return std::nullopt;
+  for (size_t I = 0, N = SrcElems.size(); I != N; ++I) {
+    std::optional<Value> Elem = deepCopy(SrcElems[I]);
+    if (!Elem)
+      return std::nullopt;
+    H.deref(*Obj)->Elems[I] = *Elem;
+  }
+  H.deref(*Obj)->Arm = Arm;
+  return Obj;
+}
+
+void Machine::dropValueTemp(const Value &V, SourceLoc Loc, int ProcIndex) {
+  if (!V.isRef())
+    return;
+  if (H.unlink(V) != HeapStatus::OK)
+    fail(RuntimeErrorKind::UseAfterFree, Loc, ProcIndex,
+         "releasing freed temporary");
+}
+
+void Machine::dropSenderTemp(const Expr *OutExpr, const Value &V) {
+  if (OutExpr && exprIsAllocation(OutExpr))
+    dropValueTemp(V, OutExpr->getLoc(), -1);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Describes an lvalue chain destination: either a whole slot or an
+/// element of a heap object.
+struct LValueRef {
+  bool IsSlot = true;
+  unsigned Slot = 0;
+  Value Obj;        ///< Container object.
+  size_t ElemIndex = 0;
+};
+
+} // namespace
+
+bool Machine::execStore(unsigned ProcIndex, const Inst &I) {
+  std::optional<Value> RHS = evalExpr(ProcIndex, I.RHS);
+  if (!RHS)
+    return false;
+  if (I.PlainStore) {
+    const MatchPattern *M = ast_cast<MatchPattern>(I.LHS);
+    const Expr *Target = M->getValue();
+    // Resolve the destination.
+    if (const VarRefExpr *V = ast_dyn_cast<VarRefExpr>(Target)) {
+      Procs[ProcIndex].Slots[V->getVar()->Slot] = *RHS;
+      return true;
+    }
+    if (const FieldExpr *F = ast_dyn_cast<FieldExpr>(Target)) {
+      std::optional<Value> Base = evalExpr(ProcIndex, F->getBase());
+      if (!Base)
+        return false;
+      HeapObject *Obj = H.deref(*Base);
+      if (!Obj) {
+        fail(RuntimeErrorKind::UseAfterFree, Target->getLoc(), ProcIndex,
+             "store into freed object");
+        return false;
+      }
+      if (Obj->ObjType->isUnion()) {
+        Obj->Arm = F->getFieldIndex();
+        Obj->Elems[0] = *RHS;
+      } else {
+        Obj->Elems[F->getFieldIndex()] = *RHS;
+      }
+      return true;
+    }
+    const IndexExpr *Ix = ast_cast<IndexExpr>(Target);
+    std::optional<Value> Base = evalExpr(ProcIndex, Ix->getBase());
+    std::optional<Value> Index = evalExpr(ProcIndex, Ix->getIndex());
+    if (!Base || !Index)
+      return false;
+    HeapObject *Obj = H.deref(*Base);
+    if (!Obj) {
+      fail(RuntimeErrorKind::UseAfterFree, Target->getLoc(), ProcIndex,
+           "store into freed object");
+      return false;
+    }
+    if (Index->Scalar < 0 ||
+        Index->Scalar >= static_cast<int64_t>(Obj->Elems.size())) {
+      fail(RuntimeErrorKind::IndexOutOfBounds, Target->getLoc(), ProcIndex,
+           "store index out of bounds");
+      return false;
+    }
+    Obj->Elems[Index->Scalar] = *RHS;
+    return true;
+  }
+
+  // Destructuring match. Local matches bind without acquiring references
+  // (assignment never manages reference counts, §4.4); a failed match is
+  // a runtime error.
+  std::vector<Value> Values = {*RHS};
+  if (!matchPattern(ProcIndex, I.LHS, Values, /*Commit=*/false)) {
+    if (!Error)
+      fail(RuntimeErrorKind::MatchFailed, I.Loc, ProcIndex,
+           "value does not match the left-hand-side pattern");
+    return false;
+  }
+  // Commit: write binder slots directly (no acquire for local matches).
+  struct Binder {
+    static bool commit(Machine &M, unsigned ProcIndex, const Pattern *P,
+                       const Value &V) {
+      switch (P->getKind()) {
+      case PatternKind::Bind:
+        M.Procs[ProcIndex].Slots[ast_cast<BindPattern>(P)->getVar()->Slot] = V;
+        return true;
+      case PatternKind::Match:
+        return true;
+      case PatternKind::Record: {
+        const RecordPattern *R = ast_cast<RecordPattern>(P);
+        const HeapObject *Obj = M.H.deref(V);
+        if (!Obj)
+          return false;
+        std::vector<Value> Elems = Obj->Elems;
+        for (size_t I = 0, N = R->getElems().size(); I != N; ++I)
+          if (!commit(M, ProcIndex, R->getElems()[I], Elems[I]))
+            return false;
+        return true;
+      }
+      case PatternKind::Union: {
+        const UnionPattern *U = ast_cast<UnionPattern>(P);
+        const HeapObject *Obj = M.H.deref(V);
+        if (!Obj)
+          return false;
+        Value Sub = Obj->Elems[0];
+        return commit(M, ProcIndex, U->getSub(), Sub);
+      }
+      }
+      return false;
+    }
+  };
+  if (!Binder::commit(*this, ProcIndex, I.LHS, *RHS)) {
+    if (!Error)
+      fail(RuntimeErrorKind::UseAfterFree, I.Loc, ProcIndex,
+           "destructuring a freed object");
+    return false;
+  }
+  // If the right-hand side was a fresh allocation, the match consumed it:
+  // release the creation reference (bound components survive only if
+  // they hold other references).
+  if (exprIsAllocation(I.RHS))
+    dropValueTemp(*RHS, I.Loc, static_cast<int>(ProcIndex));
+  return true;
+}
+
+void Machine::runToBlock(unsigned ProcIndex) {
+  ProcState &P = Procs[ProcIndex];
+  assert(P.St == ProcState::Status::Ready && "process not runnable");
+  const ProcIR &PIR = Module.Procs[ProcIndex];
+  uint64_t Steps = 0;
+  while (true) {
+    if (Error) {
+      if (P.St == ProcState::Status::Ready)
+        P.St = ProcState::Status::Failed;
+      return;
+    }
+    if (++Steps > Options.LocalStepLimit) {
+      fail(RuntimeErrorKind::StepLimit, PIR.Insts[P.PC].Loc,
+           static_cast<int>(ProcIndex),
+           "process '" + PIR.Proc->Name +
+               "' exceeded the local step limit (infinite local loop?)");
+      return;
+    }
+    const Inst &I = PIR.Insts[P.PC];
+    ++Stats.Instructions;
+    switch (I.Kind) {
+    case InstKind::DeclInit: {
+      std::optional<Value> V = evalExpr(ProcIndex, I.RHS);
+      if (!V)
+        return;
+      P.Slots[I.Var->Slot] = *V;
+      ++P.PC;
+      break;
+    }
+    case InstKind::Store:
+      if (!execStore(ProcIndex, I))
+        return;
+      ++P.PC;
+      break;
+    case InstKind::Branch: {
+      std::optional<Value> Cond = evalExpr(ProcIndex, I.Cond);
+      if (!Cond)
+        return;
+      P.PC = Cond->asBool() ? P.PC + 1 : I.Target;
+      break;
+    }
+    case InstKind::Jump:
+      P.PC = I.Target;
+      break;
+    case InstKind::Link: {
+      std::optional<Value> V = evalExpr(ProcIndex, I.RHS);
+      if (!V)
+        return;
+      if (H.link(*V) != HeapStatus::OK) {
+        fail(RuntimeErrorKind::UseAfterFree, I.Loc,
+             static_cast<int>(ProcIndex), "link of freed object");
+        return;
+      }
+      ++P.PC;
+      break;
+    }
+    case InstKind::Unlink: {
+      std::optional<Value> V = evalExpr(ProcIndex, I.RHS);
+      if (!V)
+        return;
+      if (H.unlink(*V) != HeapStatus::OK) {
+        fail(RuntimeErrorKind::UseAfterFree, I.Loc,
+             static_cast<int>(ProcIndex), "unlink of freed object");
+        return;
+      }
+      ++P.PC;
+      break;
+    }
+    case InstKind::Assert: {
+      std::optional<Value> Cond = evalExpr(ProcIndex, I.Cond);
+      if (!Cond)
+        return;
+      if (!Cond->asBool()) {
+        fail(RuntimeErrorKind::AssertFailed, I.Loc,
+             static_cast<int>(ProcIndex),
+             "assertion failed in process '" + PIR.Proc->Name + "'");
+        return;
+      }
+      ++P.PC;
+      break;
+    }
+    case InstKind::Block:
+      P.St = ProcState::Status::Blocked;
+      prepareBlock(ProcIndex);
+      return;
+    case InstKind::Halt:
+      P.St = ProcState::Status::Done;
+      return;
+    }
+  }
+}
+
+void Machine::prepareBlock(unsigned ProcIndex) {
+  ProcState &P = Procs[ProcIndex];
+  const Inst &I = Module.Procs[ProcIndex].Insts[P.PC];
+  size_t N = I.Cases.size();
+  P.CaseEnabled.assign(N, false);
+  P.Prepared.assign(N, {});
+  P.PreparedValid.assign(N, false);
+  for (size_t C = 0; C != N; ++C) {
+    const IRCase &Case = I.Cases[C];
+    if (Case.Guard) {
+      std::optional<Value> G = evalExpr(ProcIndex, Case.Guard);
+      if (!G)
+        return;
+      P.CaseEnabled[C] = G->asBool();
+    } else {
+      P.CaseEnabled[C] = true;
+    }
+    if (!P.CaseEnabled[C] || Case.IsIn || Case.LazyOut)
+      continue;
+    // Eagerly prepare the out value(s).
+    std::vector<Value> Values;
+    if (!outValues(ProcIndex, static_cast<unsigned>(C), Values))
+      return;
+    (void)Values;
+  }
+}
+
+bool Machine::outValues(unsigned ProcIndex, unsigned CaseIndex,
+                        std::vector<Value> &Values) {
+  ProcState &P = Procs[ProcIndex];
+  if (P.PreparedValid[CaseIndex]) {
+    Values = P.Prepared[CaseIndex];
+    return true;
+  }
+  const Inst &I = Module.Procs[ProcIndex].Insts[P.PC];
+  const IRCase &Case = I.Cases[CaseIndex];
+  Values.clear();
+  if (Case.ElideRecordAlloc) {
+    const RecordLitExpr *R = ast_cast<RecordLitExpr>(Case.Out);
+    for (const Expr *Elem : R->getElems()) {
+      std::optional<Value> V = evalExpr(ProcIndex, Elem);
+      if (!V)
+        return false;
+      Values.push_back(*V);
+    }
+  } else {
+    std::optional<Value> V = evalExpr(ProcIndex, Case.Out);
+    if (!V)
+      return false;
+    Values.push_back(*V);
+  }
+  P.Prepared[CaseIndex] = Values;
+  P.PreparedValid[CaseIndex] = true;
+  return true;
+}
+
+void Machine::releaseLosingCases(unsigned ProcIndex, unsigned WinnerCase) {
+  ProcState &P = Procs[ProcIndex];
+  const Inst &I = Module.Procs[ProcIndex].Insts[P.PC];
+  for (size_t C = 0, N = I.Cases.size(); C != N; ++C) {
+    if (C == WinnerCase || !P.PreparedValid[C])
+      continue;
+    const IRCase &Case = I.Cases[C];
+    if (Case.ElideRecordAlloc) {
+      const RecordLitExpr *R = ast_cast<RecordLitExpr>(Case.Out);
+      for (size_t F = 0, NF = R->getElems().size(); F != NF; ++F)
+        dropSenderTemp(R->getElems()[F], P.Prepared[C][F]);
+    } else if (Case.Out) {
+      dropSenderTemp(Case.Out, P.Prepared[C][0]);
+    }
+  }
+  P.Prepared.clear();
+  P.PreparedValid.clear();
+  P.CaseEnabled.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Pattern matching over channel values
+//===----------------------------------------------------------------------===//
+
+std::optional<Value> Machine::receiverAcquire(const Value &V) {
+  if (!V.isRef())
+    return V;
+  if (Options.DeepCopyTransfers)
+    return deepCopy(V);
+  if (H.link(V) != HeapStatus::OK) {
+    fail(RuntimeErrorKind::UseAfterFree, SourceLoc(), -1,
+         "receiving a freed object");
+    return std::nullopt;
+  }
+  return V;
+}
+
+bool Machine::matchOne(unsigned ReaderIndex, const Pattern *Pat,
+                       const Value &V, bool Commit) {
+  ++Stats.PatternMatchesTried;
+  switch (Pat->getKind()) {
+  case PatternKind::Bind: {
+    if (!Commit)
+      return true;
+    std::optional<Value> Acquired = receiverAcquire(V);
+    if (!Acquired)
+      return false;
+    Procs[ReaderIndex].Slots[ast_cast<BindPattern>(Pat)->getVar()->Slot] =
+        *Acquired;
+    return true;
+  }
+  case PatternKind::Match: {
+    if (Commit)
+      return true; // Verified during the dry run.
+    std::optional<Value> Expected =
+        evalExpr(ReaderIndex, ast_cast<MatchPattern>(Pat)->getValue());
+    if (!Expected)
+      return false;
+    return Expected->Scalar == V.Scalar;
+  }
+  case PatternKind::Record: {
+    const RecordPattern *R = ast_cast<RecordPattern>(Pat);
+    const HeapObject *Obj = H.deref(V);
+    if (!Obj) {
+      fail(RuntimeErrorKind::UseAfterFree, Pat->getLoc(),
+           static_cast<int>(ReaderIndex), "matching a freed object");
+      return false;
+    }
+    std::vector<Value> Elems = Obj->Elems;
+    for (size_t I = 0, N = R->getElems().size(); I != N; ++I)
+      if (!matchOne(ReaderIndex, R->getElems()[I], Elems[I], Commit))
+        return false;
+    return true;
+  }
+  case PatternKind::Union: {
+    const UnionPattern *U = ast_cast<UnionPattern>(Pat);
+    const HeapObject *Obj = H.deref(V);
+    if (!Obj) {
+      fail(RuntimeErrorKind::UseAfterFree, Pat->getLoc(),
+           static_cast<int>(ReaderIndex), "matching a freed object");
+      return false;
+    }
+    if (Obj->Arm != U->getFieldIndex())
+      return false;
+    Value Sub = Obj->Elems[0];
+    return matchOne(ReaderIndex, U->getSub(), Sub, Commit);
+  }
+  }
+  return false;
+}
+
+bool Machine::matchPattern(unsigned ReaderIndex, const Pattern *Pat,
+                           const std::vector<Value> &Values, bool Commit) {
+  if (Values.size() == 1)
+    return matchOne(ReaderIndex, Pat, Values[0], Commit);
+  // Elided record: the pattern is guaranteed to be a record pattern.
+  const RecordPattern *R = ast_cast<RecordPattern>(Pat);
+  assert(R->getElems().size() == Values.size() &&
+         "elided field count mismatch");
+  for (size_t I = 0, N = Values.size(); I != N; ++I)
+    if (!matchOne(ReaderIndex, R->getElems()[I], Values[I], Commit))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Transfer
+//===----------------------------------------------------------------------===//
+
+bool Machine::transfer(int WriterIndex, unsigned WriterCase, int ReaderIndex,
+                       unsigned ReaderCase,
+                       const std::vector<Value> *EnvValues) {
+  // 1. Obtain the value(s) from the writer side.
+  std::vector<Value> Values;
+  const IRCase *WCase = nullptr;
+  if (WriterIndex >= 0) {
+    const Inst &I =
+        Module.Procs[WriterIndex].Insts[Procs[WriterIndex].PC];
+    WCase = &I.Cases[WriterCase];
+    if (!outValues(static_cast<unsigned>(WriterIndex), WriterCase, Values))
+      return false;
+  } else {
+    assert(EnvValues && "environment send without values");
+    Values = *EnvValues;
+  }
+
+  // 2. Deliver to the reader side.
+  if (ReaderIndex >= 0) {
+    const Inst &I =
+        Module.Procs[ReaderIndex].Insts[Procs[ReaderIndex].PC];
+    const IRCase &RCase = I.Cases[ReaderCase];
+    if (!matchPattern(static_cast<unsigned>(ReaderIndex), RCase.Pat, Values,
+                      /*Commit=*/false)) {
+      if (!Error)
+        fail(RuntimeErrorKind::NoMatchingPattern, RCase.Loc, ReaderIndex,
+             "committed transfer does not match the reader pattern");
+      return false;
+    }
+    if (!matchPattern(static_cast<unsigned>(ReaderIndex), RCase.Pat, Values,
+                      /*Commit=*/true))
+      return false;
+  }
+  ++Stats.Rendezvous;
+
+  // 3. Writer-side cleanup and advance.
+  if (WriterIndex >= 0) {
+    if (WCase->ElideRecordAlloc) {
+      const RecordLitExpr *R = ast_cast<RecordLitExpr>(WCase->Out);
+      for (size_t F = 0, NF = R->getElems().size(); F != NF; ++F)
+        dropSenderTemp(R->getElems()[F], Values[F]);
+    } else {
+      dropSenderTemp(WCase->Out, Values[0]);
+    }
+    unsigned Target = WCase->Target;
+    releaseLosingCases(static_cast<unsigned>(WriterIndex), WriterCase);
+    Procs[WriterIndex].PC = Target;
+    Procs[WriterIndex].St = ProcState::Status::Ready;
+  } else {
+    // Environment-produced values are owned temps; release them now that
+    // the receiver has acquired what it binds.
+    for (const Value &V : Values)
+      dropValueTemp(V, SourceLoc(), -1);
+  }
+
+  // 4. Reader-side advance.
+  if (ReaderIndex >= 0) {
+    const Inst &I =
+        Module.Procs[ReaderIndex].Insts[Procs[ReaderIndex].PC];
+    unsigned Target = I.Cases[ReaderCase].Target;
+    releaseLosingCases(static_cast<unsigned>(ReaderIndex), ReaderCase);
+    Procs[ReaderIndex].PC = Target;
+    Procs[ReaderIndex].St = ProcState::Status::Ready;
+  }
+  return !Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution-mode scheduling
+//===----------------------------------------------------------------------===//
+
+int Machine::popReady() {
+  while (!ReadyQueue.empty()) {
+    // FIFO drain prevents starvation; the rendezvous initiator is pushed
+    // to the front, which realizes the stack-based continue-the-current-
+    // process policy (§6.1) without starving parked peers.
+    unsigned P = ReadyQueue.front();
+    ReadyQueue.pop_front();
+    if (Procs[P].St == ProcState::Status::Ready)
+      return static_cast<int>(P);
+  }
+  return -1;
+}
+
+bool Machine::tryExternalOut(unsigned ProcIndex, unsigned CaseIndex) {
+  const Inst &I = Module.Procs[ProcIndex].Insts[Procs[ProcIndex].PC];
+  const IRCase &Case = I.Cases[CaseIndex];
+  ExternalReader *Reader = Readers[Case.Channel->Id].get();
+  if (!Reader || !Reader->isReady())
+    return false;
+  std::vector<Value> Values;
+  if (!outValues(ProcIndex, CaseIndex, Values))
+    return false;
+  // Dispatch over the interface cases to find the matching one and
+  // extract its binder-leaf values.
+  const InterfaceDecl *Iface = Case.Channel->Interface;
+  assert(Iface && "external-reader channel without interface");
+  assert(!Case.ElideRecordAlloc &&
+         "record elision is disabled on external channels");
+  const Value &V = Values[0];
+  for (size_t C = 0, N = Iface->Cases.size(); C != N; ++C) {
+    std::vector<Value> Binders;
+    if (!extractInterfaceBinders(Iface->Cases[C].Pat, V, Binders)) {
+      if (Error)
+        return false;
+      continue;
+    }
+    Reader->consume(static_cast<int>(C) + 1, H, Binders);
+    ++Stats.ExternalConsumes;
+    dropSenderTemp(Case.Out, V);
+    unsigned Target = Case.Target;
+    releaseLosingCases(ProcIndex, CaseIndex);
+    Procs[ProcIndex].PC = Target;
+    Procs[ProcIndex].St = ProcState::Status::Ready;
+    return true;
+  }
+  fail(RuntimeErrorKind::NoMatchingPattern, Case.Loc,
+       static_cast<int>(ProcIndex),
+       "message on external channel '" + Case.Channel->Name +
+           "' matches no interface case");
+  return false;
+}
+
+bool Machine::tryPair(unsigned ProcIndex) {
+  ProcState &P = Procs[ProcIndex];
+  if (P.St != ProcState::Status::Blocked)
+    return false;
+  const Inst &I = Module.Procs[ProcIndex].Insts[P.PC];
+  size_t N = I.Cases.size();
+  for (size_t CO = 0; CO != N; ++CO) {
+    // Rotate the starting case to avoid starving later alternatives.
+    size_t C = (CO + PollRotor) % N;
+    if (!P.CaseEnabled[C])
+      continue;
+    const IRCase &Case = I.Cases[C];
+    if (Case.IsIn) {
+      // Find a blocked internal writer whose value matches our pattern.
+      for (unsigned W = 0, NP = Procs.size(); W != NP; ++W) {
+        if (W == ProcIndex || Procs[W].St != ProcState::Status::Blocked)
+          continue;
+        const Inst &WI = Module.Procs[W].Insts[Procs[W].PC];
+        for (size_t WC = 0, NW = WI.Cases.size(); WC != NW; ++WC) {
+          const IRCase &WCase = WI.Cases[WC];
+          if (WCase.IsIn || WCase.Channel != Case.Channel ||
+              !Procs[W].CaseEnabled[WC])
+            continue;
+          // A MatchFree lazy writer pairs without materializing its
+          // value: allocation is postponed to the commit (§6.1).
+          if (!(WCase.LazyOut && WCase.MatchFree)) {
+            std::vector<Value> Values;
+            if (!outValues(W, static_cast<unsigned>(WC), Values))
+              return false;
+            if (!matchPattern(ProcIndex, Case.Pat, Values,
+                              /*Commit=*/false)) {
+              if (Error)
+                return false;
+              continue;
+            }
+          }
+          if (!transfer(static_cast<int>(W), static_cast<unsigned>(WC),
+                        static_cast<int>(ProcIndex),
+                        static_cast<unsigned>(C), nullptr))
+            return false;
+          // Stack-based policy: the peer joins the ready queue; the
+          // initiator goes to the front so the next pop continues it.
+          ReadyQueue.push_back(W);
+          ReadyQueue.push_front(ProcIndex);
+          return true;
+        }
+      }
+    } else {
+      // Find the blocked internal reader whose pattern matches our value;
+      // two matching readers is a dispatch-disjointness violation.
+      const bool NeedValue = !(Case.LazyOut && Case.MatchFree);
+      std::vector<Value> Values;
+      if (NeedValue &&
+          !outValues(ProcIndex, static_cast<unsigned>(C), Values))
+        return false;
+      int FoundReader = -1;
+      unsigned FoundCase = 0;
+      for (unsigned R = 0, NP = Procs.size(); R != NP; ++R) {
+        if (R == ProcIndex || Procs[R].St != ProcState::Status::Blocked)
+          continue;
+        const Inst &RI = Module.Procs[R].Insts[Procs[R].PC];
+        for (size_t RC = 0, NR = RI.Cases.size(); RC != NR; ++RC) {
+          const IRCase &RCase = RI.Cases[RC];
+          if (!RCase.IsIn || RCase.Channel != Case.Channel ||
+              !Procs[R].CaseEnabled[RC])
+            continue;
+          if (NeedValue &&
+              !matchPattern(R, RCase.Pat, Values, /*Commit=*/false)) {
+            if (Error)
+              return false;
+            continue;
+          }
+          if (FoundReader >= 0 && FoundReader != static_cast<int>(R)) {
+            fail(RuntimeErrorKind::AmbiguousDispatch, Case.Loc,
+                 static_cast<int>(ProcIndex),
+                 "message on channel '" + Case.Channel->Name +
+                     "' matches patterns in two processes");
+            return false;
+          }
+          if (FoundReader < 0) {
+            FoundReader = static_cast<int>(R);
+            FoundCase = static_cast<unsigned>(RC);
+          }
+        }
+      }
+      if (FoundReader >= 0) {
+        if (!transfer(static_cast<int>(ProcIndex),
+                      static_cast<unsigned>(C), FoundReader, FoundCase,
+                      nullptr))
+          return false;
+        ReadyQueue.push_back(static_cast<unsigned>(FoundReader));
+        ReadyQueue.push_front(ProcIndex);
+        return true;
+      }
+      // Or hand it to an external reader.
+      if (Readers[Case.Channel->Id] &&
+          tryExternalOut(ProcIndex, static_cast<unsigned>(C))) {
+        ReadyQueue.push_back(ProcIndex);
+        return true;
+      }
+      if (Error)
+        return false;
+    }
+  }
+  return false;
+}
+
+std::optional<Value>
+Machine::buildFromInterfacePattern(const Pattern *Pat,
+                                   const std::vector<Value> &Binders,
+                                   size_t &Next) {
+  switch (Pat->getKind()) {
+  case PatternKind::Bind: {
+    assert(Next < Binders.size() && "interface binding produced too few "
+                                    "values");
+    return Binders[Next++];
+  }
+  case PatternKind::Match: {
+    std::optional<int64_t> V =
+        tryEvalStatic(ast_cast<MatchPattern>(Pat)->getValue(), nullptr);
+    assert(V && "interface constants are checked by Sema");
+    return Pat->getType()->isBool() ? Value::makeBool(*V != 0)
+                                    : Value::makeInt(*V);
+  }
+  case PatternKind::Record: {
+    const RecordPattern *R = ast_cast<RecordPattern>(Pat);
+    std::optional<Value> Obj =
+        H.allocate(Pat->getType(), R->getElems().size());
+    if (!Obj) {
+      fail(RuntimeErrorKind::OutOfObjects, Pat->getLoc(), -1,
+           "object table exhausted building external message");
+      return std::nullopt;
+    }
+    for (size_t I = 0, N = R->getElems().size(); I != N; ++I) {
+      std::optional<Value> Elem =
+          buildFromInterfacePattern(R->getElems()[I], Binders, Next);
+      if (!Elem)
+        return std::nullopt;
+      // Binder-provided aggregates arrive as owned temps from the
+      // binding; the construction edge takes that ownership.
+      H.deref(*Obj)->Elems[I] = *Elem;
+    }
+    return Obj;
+  }
+  case PatternKind::Union: {
+    const UnionPattern *U = ast_cast<UnionPattern>(Pat);
+    std::optional<Value> Obj = H.allocate(Pat->getType(), 1);
+    if (!Obj) {
+      fail(RuntimeErrorKind::OutOfObjects, Pat->getLoc(), -1,
+           "object table exhausted building external message");
+      return std::nullopt;
+    }
+    std::optional<Value> Sub =
+        buildFromInterfacePattern(U->getSub(), Binders, Next);
+    if (!Sub)
+      return std::nullopt;
+    HeapObject *ObjPtr = H.deref(*Obj);
+    ObjPtr->Arm = U->getFieldIndex();
+    ObjPtr->Elems[0] = *Sub;
+    return Obj;
+  }
+  }
+  return std::nullopt;
+}
+
+bool Machine::extractInterfaceBinders(const Pattern *Pat, const Value &V,
+                                      std::vector<Value> &Out) {
+  switch (Pat->getKind()) {
+  case PatternKind::Bind:
+    Out.push_back(V);
+    return true;
+  case PatternKind::Match: {
+    std::optional<int64_t> Expected =
+        tryEvalStatic(ast_cast<MatchPattern>(Pat)->getValue(), nullptr);
+    return Expected && *Expected == V.Scalar;
+  }
+  case PatternKind::Record: {
+    const RecordPattern *R = ast_cast<RecordPattern>(Pat);
+    const HeapObject *Obj = H.deref(V);
+    if (!Obj) {
+      fail(RuntimeErrorKind::UseAfterFree, Pat->getLoc(), -1,
+           "external dispatch on freed object");
+      return false;
+    }
+    std::vector<Value> Elems = Obj->Elems;
+    for (size_t I = 0, N = R->getElems().size(); I != N; ++I)
+      if (!extractInterfaceBinders(R->getElems()[I], Elems[I], Out))
+        return false;
+    return true;
+  }
+  case PatternKind::Union: {
+    const UnionPattern *U = ast_cast<UnionPattern>(Pat);
+    const HeapObject *Obj = H.deref(V);
+    if (!Obj) {
+      fail(RuntimeErrorKind::UseAfterFree, Pat->getLoc(), -1,
+           "external dispatch on freed object");
+      return false;
+    }
+    if (Obj->Arm != U->getFieldIndex())
+      return false;
+    Value Sub = Obj->Elems[0];
+    return extractInterfaceBinders(U->getSub(), Sub, Out);
+  }
+  }
+  return false;
+}
+
+bool Machine::deliverExternalIn(unsigned ChannelId) {
+  ExternalWriter *Writer = Writers[ChannelId].get();
+  if (!Writer)
+    return false;
+  int CaseIndex = Writer->isReady();
+  if (CaseIndex <= 0)
+    return false;
+  const ChannelDecl *Chan = nullptr;
+  for (const std::unique_ptr<ChannelDecl> &C : Module.Prog->Channels)
+    if (C->Id == ChannelId)
+      Chan = C.get();
+  assert(Chan && Chan->Interface && "bad external channel");
+  const InterfaceCase &ICase =
+      Chan->Interface->Cases[static_cast<size_t>(CaseIndex) - 1];
+
+  std::vector<Value> Binders;
+  Writer->produce(CaseIndex, H, Binders);
+  size_t Next = 0;
+  std::optional<Value> V =
+      buildFromInterfacePattern(ICase.Pat, Binders, Next);
+  if (!V)
+    return false;
+
+  // Find the blocked reader whose pattern matches.
+  std::vector<Value> Values = {*V};
+  for (unsigned R = 0, NP = Procs.size(); R != NP; ++R) {
+    if (Procs[R].St != ProcState::Status::Blocked)
+      continue;
+    const Inst &RI = Module.Procs[R].Insts[Procs[R].PC];
+    for (size_t RC = 0, NR = RI.Cases.size(); RC != NR; ++RC) {
+      const IRCase &RCase = RI.Cases[RC];
+      if (!RCase.IsIn || RCase.Channel != Chan || !Procs[R].CaseEnabled[RC])
+        continue;
+      if (!matchPattern(R, RCase.Pat, Values, /*Commit=*/false)) {
+        if (Error)
+          return false;
+        continue;
+      }
+      if (!matchPattern(R, RCase.Pat, Values, /*Commit=*/true))
+        return false;
+      Writer->accepted(CaseIndex);
+      dropValueTemp(*V, ICase.Loc, -1);
+      unsigned Target = RCase.Target;
+      releaseLosingCases(R, static_cast<unsigned>(RC));
+      Procs[R].PC = Target;
+      Procs[R].St = ProcState::Status::Ready;
+      ReadyQueue.push_back(R);
+      ++Stats.ExternalDeliveries;
+      ++Stats.Rendezvous;
+      return true;
+    }
+  }
+  // No process is waiting for this message right now; drop it back. A
+  // real firmware would leave it in the device queue; our bindings are
+  // required to re-offer it on the next poll, so releasing the built
+  // value is safe.
+  dropValueTemp(*V, ICase.Loc, -1);
+  return false;
+}
+
+bool Machine::pollExternals() {
+  ++Stats.PollRounds;
+  unsigned NumChannels = static_cast<unsigned>(Writers.size());
+  // Poll external writers (message arrival).
+  for (unsigned Off = 0; Off != NumChannels; ++Off) {
+    unsigned Chan = (Off + PollRotor) % NumChannels;
+    if (deliverExternalIn(Chan))
+      return true;
+    if (Error)
+      return false;
+  }
+  // Poll external readers (blocked processes wanting to emit).
+  for (unsigned P = 0, NP = Procs.size(); P != NP; ++P) {
+    if (Procs[P].St != ProcState::Status::Blocked)
+      continue;
+    const Inst &I = Module.Procs[P].Insts[Procs[P].PC];
+    for (size_t C = 0, N = I.Cases.size(); C != N; ++C) {
+      const IRCase &Case = I.Cases[C];
+      if (Case.IsIn || !Procs[P].CaseEnabled[C] ||
+          !Readers[Case.Channel->Id])
+        continue;
+      if (tryExternalOut(P, static_cast<unsigned>(C))) {
+        ReadyQueue.push_back(P);
+        return true;
+      }
+      if (Error)
+        return false;
+    }
+  }
+  return false;
+}
+
+Machine::StepResult Machine::step() {
+  assert(Started && "call start() first");
+  if (Error)
+    return StepResult::Errored;
+  ++PollRotor;
+
+  int Next = popReady();
+  if (Next < 0) {
+    if (allDone())
+      return StepResult::Halted;
+    // Resolve any internal rendezvous between parked processes (this also
+    // kicks off the very first pairings after start()).
+    bool Paired = false;
+    for (unsigned I = 0, E = Procs.size(); I != E && !Paired; ++I) {
+      if (Procs[I].St != ProcState::Status::Blocked)
+        continue;
+      Paired = tryPair(I);
+      if (Error)
+        return StepResult::Errored;
+    }
+    // Idle loop: poll external channels (§6.1).
+    if (!Paired && !pollExternals())
+      return Error ? StepResult::Errored : StepResult::Quiescent;
+    Next = popReady();
+    if (Next < 0)
+      return StepResult::Progress;
+  }
+  if (Current != Next) {
+    ++Stats.ContextSwitches;
+    Current = Next;
+  }
+
+  runToBlock(static_cast<unsigned>(Next));
+  if (Error)
+    return StepResult::Errored;
+  ProcState &P = Procs[Next];
+  if (P.St == ProcState::Status::Done)
+    return allDone() ? StepResult::Halted : StepResult::Progress;
+  assert(P.St == ProcState::Status::Blocked);
+  tryPair(static_cast<unsigned>(Next));
+  return Error ? StepResult::Errored : StepResult::Progress;
+}
+
+Machine::StepResult Machine::run(uint64_t MaxSteps) {
+  StepResult Result = StepResult::Progress;
+  for (uint64_t I = 0; I != MaxSteps; ++I) {
+    Result = step();
+    if (Result != StepResult::Progress)
+      return Result;
+  }
+  return Result;
+}
+
+bool Machine::allDone() const {
+  for (const ProcState &P : Procs)
+    if (P.St != ProcState::Status::Done)
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Verification mode
+//===----------------------------------------------------------------------===//
+
+std::vector<Move> Machine::enumerateMoves() {
+  std::vector<Move> Moves;
+  if (Error)
+    return Moves;
+  unsigned NP = static_cast<unsigned>(Procs.size());
+  for (unsigned W = 0; W != NP; ++W) {
+    if (Procs[W].St != ProcState::Status::Blocked)
+      continue;
+    const Inst &WI = Module.Procs[W].Insts[Procs[W].PC];
+    for (size_t WC = 0, NW = WI.Cases.size(); WC != NW; ++WC) {
+      const IRCase &WCase = WI.Cases[WC];
+      if (WCase.IsIn || !Procs[W].CaseEnabled[WC])
+        continue;
+      std::vector<Value> Values;
+      if (!outValues(W, static_cast<unsigned>(WC), Values))
+        return Moves;
+      int MatchingReaderOwner = -1;
+      for (unsigned R = 0; R != NP; ++R) {
+        if (R == W || Procs[R].St != ProcState::Status::Blocked)
+          continue;
+        const Inst &RI = Module.Procs[R].Insts[Procs[R].PC];
+        for (size_t RC = 0, NR = RI.Cases.size(); RC != NR; ++RC) {
+          const IRCase &RCase = RI.Cases[RC];
+          if (!RCase.IsIn || RCase.Channel != WCase.Channel ||
+              !Procs[R].CaseEnabled[RC])
+            continue;
+          if (!matchPattern(R, RCase.Pat, Values, /*Commit=*/false)) {
+            if (Error)
+              return Moves;
+            continue;
+          }
+          if (MatchingReaderOwner >= 0 &&
+              MatchingReaderOwner != static_cast<int>(R)) {
+            fail(RuntimeErrorKind::AmbiguousDispatch, WCase.Loc,
+                 static_cast<int>(W),
+                 "message on channel '" + WCase.Channel->Name +
+                     "' matches patterns in two processes");
+            return Moves;
+          }
+          MatchingReaderOwner = static_cast<int>(R);
+          Move M;
+          M.K = Move::Kind::Rendezvous;
+          M.Channel = WCase.Channel->Id;
+          M.Writer = static_cast<int>(W);
+          M.WriterCase = static_cast<unsigned>(WC);
+          M.Reader = static_cast<int>(R);
+          M.ReaderCase = static_cast<unsigned>(RC);
+          Moves.push_back(M);
+        }
+      }
+      // Environment receive.
+      if (Env && Env->numVariants(WCase.Channel) == 0 &&
+          WCase.Channel->Role == ChannelRole::ExternalReader) {
+        Move M;
+        M.K = Move::Kind::EnvRecv;
+        M.Channel = WCase.Channel->Id;
+        M.Writer = static_cast<int>(W);
+        M.WriterCase = static_cast<unsigned>(WC);
+        Moves.push_back(M);
+      }
+      // In per-process harness mode the environment consumes from any
+      // channel it does not drive.
+      if (Env && WCase.Channel->Role != ChannelRole::ExternalReader &&
+          Env->numVariants(WCase.Channel) == 0 && MatchingReaderOwner < 0) {
+        bool AnyInternalReader = false;
+        for (unsigned R = 0; R != NP && !AnyInternalReader; ++R) {
+          if (R == W)
+            continue;
+          for (const Inst &I : Module.Procs[R].Insts) {
+            if (I.Kind != InstKind::Block)
+              continue;
+            for (const IRCase &C : I.Cases)
+              if (C.IsIn && C.Channel == WCase.Channel)
+                AnyInternalReader = true;
+          }
+        }
+        if (!AnyInternalReader) {
+          Move M;
+          M.K = Move::Kind::EnvRecv;
+          M.Channel = WCase.Channel->Id;
+          M.Writer = static_cast<int>(W);
+          M.WriterCase = static_cast<unsigned>(WC);
+          Moves.push_back(M);
+        }
+      }
+    }
+  }
+
+  // Environment sends.
+  if (Env) {
+    for (const std::unique_ptr<ChannelDecl> &Chan : Module.Prog->Channels) {
+      unsigned NumVariants = Env->numVariants(Chan.get());
+      for (unsigned Variant = 0; Variant != NumVariants; ++Variant) {
+        Value V = Env->makeVariant(Chan.get(), Variant, H);
+        std::vector<Value> Values = {V};
+        for (unsigned R = 0; R != NP; ++R) {
+          if (Procs[R].St != ProcState::Status::Blocked)
+            continue;
+          const Inst &RI = Module.Procs[R].Insts[Procs[R].PC];
+          for (size_t RC = 0, NR = RI.Cases.size(); RC != NR; ++RC) {
+            const IRCase &RCase = RI.Cases[RC];
+            if (!RCase.IsIn || RCase.Channel != Chan.get() ||
+                !Procs[R].CaseEnabled[RC])
+              continue;
+            if (!matchPattern(R, RCase.Pat, Values, /*Commit=*/false)) {
+              if (Error)
+                return Moves;
+              continue;
+            }
+            Move M;
+            M.K = Move::Kind::EnvSend;
+            M.Channel = Chan->Id;
+            M.Reader = static_cast<int>(R);
+            M.ReaderCase = static_cast<unsigned>(RC);
+            M.EnvVariant = Variant;
+            Moves.push_back(M);
+          }
+        }
+        // Undo the probe allocation so enumeration does not perturb the
+        // state.
+        dropValueTemp(V, SourceLoc(), -1);
+        if (Error)
+          return Moves;
+      }
+    }
+  }
+  return Moves;
+}
+
+void Machine::applyMove(const Move &M) {
+  assert(!Error && "applying a move to a failed machine");
+  switch (M.K) {
+  case Move::Kind::Rendezvous: {
+    if (!transfer(M.Writer, M.WriterCase, M.Reader, M.ReaderCase, nullptr))
+      return;
+    runToBlock(static_cast<unsigned>(M.Writer));
+    if (Error)
+      return;
+    runToBlock(static_cast<unsigned>(M.Reader));
+    return;
+  }
+  case Move::Kind::EnvSend: {
+    const ChannelDecl *Chan = nullptr;
+    for (const std::unique_ptr<ChannelDecl> &C : Module.Prog->Channels)
+      if (C->Id == M.Channel)
+        Chan = C.get();
+    Value V = Env->makeVariant(Chan, M.EnvVariant, H);
+    std::vector<Value> Values = {V};
+    if (!transfer(-1, 0, M.Reader, M.ReaderCase, &Values))
+      return;
+    runToBlock(static_cast<unsigned>(M.Reader));
+    return;
+  }
+  case Move::Kind::EnvRecv: {
+    if (!transfer(M.Writer, M.WriterCase, -1, 0, nullptr))
+      return;
+    runToBlock(static_cast<unsigned>(M.Writer));
+    return;
+  }
+  }
+}
+
+bool Machine::isDeadlocked() {
+  if (Error)
+    return false;
+  bool AnyBlocked = false;
+  for (const ProcState &P : Procs)
+    AnyBlocked |= P.St == ProcState::Status::Blocked;
+  if (!AnyBlocked)
+    return false;
+  return enumerateMoves().empty() && !Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot, serialization, leak sweep
+//===----------------------------------------------------------------------===//
+
+Machine::Snapshot Machine::snapshot() const {
+  return Snapshot{H, Procs, Error, Started};
+}
+
+void Machine::restore(const Snapshot &S) {
+  H = S.H;
+  Procs = S.Procs;
+  Error = S.Error;
+  Started = S.Started;
+  ReadyQueue.clear();
+  Current = -1;
+}
+
+namespace {
+
+class StateSerializer {
+public:
+  StateSerializer(const Heap &H, std::string &Out) : H(H), Out(Out) {}
+
+  void value(const Value &V) {
+    switch (V.K) {
+    case Value::Kind::Uninit:
+      byte(0);
+      return;
+    case Value::Kind::Int:
+      byte(1);
+      u64(static_cast<uint64_t>(V.Scalar));
+      return;
+    case Value::Kind::Bool:
+      byte(2);
+      byte(V.Scalar ? 1 : 0);
+      return;
+    case Value::Kind::Ref:
+      ref(V);
+      return;
+    }
+  }
+
+private:
+  void byte(uint8_t B) { Out.push_back(static_cast<char>(B)); }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      byte(static_cast<uint8_t>(V >> (I * 8)));
+  }
+
+  void ref(const Value &V) {
+    const HeapObject *Obj = H.deref(V);
+    if (!Obj) {
+      byte(3); // Dangling reference: canonical "dead" marker.
+      return;
+    }
+    uint64_t Key = (static_cast<uint64_t>(V.Ref) << 32) | V.Gen;
+    auto It = CanonicalIds.find(Key);
+    if (It != CanonicalIds.end()) {
+      byte(4); // Back reference.
+      u64(It->second);
+      return;
+    }
+    uint64_t Id = CanonicalIds.size();
+    CanonicalIds.emplace(Key, Id);
+    byte(5); // First visit: serialize contents.
+    u64(reinterpret_cast<uintptr_t>(Obj->ObjType));
+    u64(static_cast<uint64_t>(Obj->Arm));
+    u64(Obj->RefCount);
+    u64(Obj->Elems.size());
+    for (const Value &Elem : Obj->Elems)
+      value(Elem);
+  }
+
+  const Heap &H;
+  std::string &Out;
+  std::unordered_map<uint64_t, uint64_t> CanonicalIds;
+};
+
+} // namespace
+
+std::string Machine::serializeState() const {
+  std::string Out;
+  StateSerializer S(H, Out);
+  for (const ProcState &P : Procs) {
+    Out.push_back(static_cast<char>(P.St));
+    for (int I = 0; I != 4; ++I)
+      Out.push_back(static_cast<char>(P.PC >> (I * 8)));
+    for (const Value &Slot : P.Slots)
+      S.value(Slot);
+    for (size_t C = 0; C != P.PreparedValid.size(); ++C) {
+      Out.push_back(P.PreparedValid[C] ? 1 : 0);
+      if (P.PreparedValid[C])
+        for (const Value &V : P.Prepared[C])
+          S.value(V);
+    }
+  }
+  Out.push_back(static_cast<char>(Error.Kind));
+  return Out;
+}
+
+unsigned Machine::countLeakedObjects() const {
+  // Mark phase: everything reachable from the roots of live processes.
+  std::vector<uint8_t> Reachable(H.objects().size(), 0);
+  std::vector<uint32_t> Worklist;
+  auto root = [&](const Value &V) {
+    const HeapObject *Obj = H.deref(V);
+    if (Obj && !Reachable[V.Ref]) {
+      Reachable[V.Ref] = 1;
+      Worklist.push_back(V.Ref);
+    }
+  };
+  for (const ProcState &P : Procs) {
+    if (P.St == ProcState::Status::Done)
+      continue; // A finished process can never unlink: its refs leak.
+    for (const Value &Slot : P.Slots)
+      root(Slot);
+    for (size_t C = 0; C != P.PreparedValid.size(); ++C)
+      if (P.PreparedValid[C])
+        for (const Value &V : P.Prepared[C])
+          root(V);
+  }
+  while (!Worklist.empty()) {
+    uint32_t Index = Worklist.back();
+    Worklist.pop_back();
+    for (const Value &Elem : H.objects()[Index].Elems) {
+      const HeapObject *Obj = H.deref(Elem);
+      if (Obj && !Reachable[Elem.Ref]) {
+        Reachable[Elem.Ref] = 1;
+        Worklist.push_back(Elem.Ref);
+      }
+    }
+  }
+  unsigned Leaked = 0;
+  for (size_t I = 0, E = H.objects().size(); I != E; ++I)
+    if (H.objects()[I].Live && !Reachable[I])
+      ++Leaked;
+  return Leaked;
+}

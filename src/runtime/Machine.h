@@ -1,0 +1,361 @@
+//===--- Machine.h - ESP interpreter and scheduler --------------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ESP execution machine: interprets the state-machine IR with the
+/// runtime structure the generated C uses (§6.1):
+///
+///  * processes are stackless; a context switch saves only the program
+///    counter,
+///  * channels are synchronous rendezvous; blocked processes are tracked
+///    per channel (the generated C uses per-process bitmasks; the
+///    interpreter keeps the equivalent wait sets and counts the same
+///    events),
+///  * scheduling is non-preemptive and stack-based: when a rendezvous
+///    completes, one process continues and the other is pushed on the
+///    ready queue; an idle loop polls external channels,
+///  * message transfer is by reference-count increment in execution mode
+///    (the paper's deep-copy elision) and by actual deep copy in
+///    verification mode (the semantic model the SPIN translation uses,
+///    which makes memory safety a per-process property, §4.4).
+///
+/// The same Machine exposes a model-checking interface: enumerate the
+/// enabled moves of the current state, apply one, snapshot/serialize the
+/// whole state. The model checker (src/mc) drives it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_RUNTIME_MACHINE_H
+#define ESP_RUNTIME_MACHINE_H
+
+#include "ir/IR.h"
+#include "runtime/Heap.h"
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace esp {
+
+//===----------------------------------------------------------------------===//
+// Errors
+//===----------------------------------------------------------------------===//
+
+enum class RuntimeErrorKind : uint8_t {
+  None,
+  AssertFailed,
+  UseAfterFree,
+  MatchFailed,        ///< Destructuring assignment did not match.
+  NoMatchingPattern,  ///< A sent message matched no reader pattern.
+  AmbiguousDispatch,  ///< A sent message matched patterns of two readers.
+  OutOfObjects,       ///< Bounded object table exhausted (leak indicator).
+  DivideByZero,
+  IndexOutOfBounds,
+  InvalidUnionField,  ///< Read of a union field that is not the valid arm.
+  UninitializedRead,
+  StepLimit,
+};
+
+const char *runtimeErrorKindName(RuntimeErrorKind Kind);
+
+struct RuntimeError {
+  RuntimeErrorKind Kind = RuntimeErrorKind::None;
+  std::string Message;
+  SourceLoc Loc;
+  int ProcessIndex = -1;
+
+  explicit operator bool() const { return Kind != RuntimeErrorKind::None; }
+};
+
+//===----------------------------------------------------------------------===//
+// External bindings (§4.5)
+//===----------------------------------------------------------------------===//
+
+/// Implementation of an external *writer* interface: the C side of a
+/// channel that external code writes. Mirrors the paper's pair of C
+/// functions: `<Iface>IsReady` returning which pattern is ready (0 = not
+/// ready, 1-based case index otherwise) and one function per case that
+/// produces the pattern's parameters.
+class ExternalWriter {
+public:
+  virtual ~ExternalWriter() = default;
+
+  /// Which interface case has a message to deliver; 0 when none.
+  virtual int isReady() = 0;
+
+  /// Produces the values for the binder leaves of case \p CaseIndex
+  /// (1-based), in left-to-right pattern order. Aggregate parameters are
+  /// allocated by the binding in \p H. produce() must *peek*: the message
+  /// is consumed only when accepted() is called; if no process was ready
+  /// to receive it, the binding must re-offer it on the next poll.
+  virtual void produce(int CaseIndex, Heap &H,
+                       std::vector<Value> &BinderValues) = 0;
+
+  /// The message produced for \p CaseIndex was delivered; dequeue it.
+  virtual void accepted(int CaseIndex) { (void)CaseIndex; }
+};
+
+/// Implementation of an external *reader* interface. `isReady` says
+/// whether the external side is willing to accept data; `consume`
+/// receives the binder-leaf values of the matched case.
+class ExternalReader {
+public:
+  virtual ~ExternalReader() = default;
+
+  virtual bool isReady() = 0;
+  virtual void consume(int CaseIndex, Heap &H,
+                       const std::vector<Value> &BinderValues) = 0;
+};
+
+/// Environment model for verification: generates every value the
+/// environment might send on external-writer channels (bounded domains),
+/// and accepts everything on external-reader channels. Used by the
+/// per-process memory-safety harness (§5.3).
+class EnvModel {
+public:
+  virtual ~EnvModel() = default;
+
+  /// Number of distinct values the environment may send on \p Chan; 0
+  /// disables environment sends on that channel.
+  virtual unsigned numVariants(const ChannelDecl *Chan) = 0;
+
+  /// Materializes variant \p Index in \p H.
+  virtual Value makeVariant(const ChannelDecl *Chan, unsigned Index,
+                            Heap &H) = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Machine
+//===----------------------------------------------------------------------===//
+
+/// One enabled transition of the machine, for the model checker.
+struct Move {
+  enum class Kind : uint8_t { Rendezvous, EnvSend, EnvRecv } K =
+      Kind::Rendezvous;
+  uint32_t Channel = 0;
+  int Writer = -1; ///< Process index, or -1 for the environment.
+  unsigned WriterCase = 0;
+  int Reader = -1; ///< Process index, or -1 for the environment.
+  unsigned ReaderCase = 0;
+  unsigned EnvVariant = 0; ///< For EnvSend.
+
+  std::string str(const ModuleIR &Module) const;
+};
+
+/// Per-process interpreter state.
+struct ProcState {
+  enum class Status : uint8_t { Ready, Blocked, Done, Failed };
+
+  unsigned PC = 0;
+  Status St = Status::Ready;
+  std::vector<Value> Slots;
+  /// Cached guard results for the Block instruction at PC (valid while
+  /// Blocked); guards cannot change while the process is blocked because
+  /// no other process can touch its state.
+  std::vector<bool> CaseEnabled;
+  /// Eagerly prepared out values per case (empty vector = not prepared).
+  /// Elided cases prepare one value per record field.
+  std::vector<std::vector<Value>> Prepared;
+  std::vector<bool> PreparedValid;
+};
+
+/// Execution statistics; the NIC simulator derives its cycle costs from
+/// these (every event here corresponds to work the firmware CPU does).
+struct ExecStats {
+  uint64_t Instructions = 0;
+  uint64_t ContextSwitches = 0;
+  uint64_t Rendezvous = 0;
+  uint64_t ExternalDeliveries = 0;
+  uint64_t ExternalConsumes = 0;
+  uint64_t PollRounds = 0;
+  uint64_t PatternMatchesTried = 0;
+};
+
+struct MachineOptions {
+  /// Bound on the object table (0 = unbounded). The verifier uses a small
+  /// bound so leaks exhaust it (§5.2).
+  uint32_t MaxObjects = 0;
+  /// Recycle freed object ids (the generated firmware does; generations
+  /// keep UAF detectable either way).
+  bool ReuseObjectIds = true;
+  /// Deep-copy channel transfers (semantic model; used for verification)
+  /// instead of refcount-increment sharing (the optimized execution).
+  bool DeepCopyTransfers = false;
+  /// Stop execution after this many interpreted instructions in one
+  /// runToBlock (guards against non-terminating local loops).
+  uint64_t LocalStepLimit = 10'000'000;
+};
+
+/// The ESP virtual machine. Copyable (for model-checker snapshots) except
+/// for the external bindings, which only the execution mode uses.
+class Machine {
+public:
+  Machine(const ModuleIR &Module, MachineOptions Options);
+
+  // Non-copyable because of bindings; use snapshot()/restore() for MC.
+  Machine(const Machine &) = delete;
+  Machine &operator=(const Machine &) = delete;
+
+  //===--- Setup ----------------------------------------------------------===//
+
+  /// Binds the execution-mode implementation of an external-writer
+  /// interface (by interface name).
+  void bindWriter(const std::string &InterfaceName,
+                  std::unique_ptr<ExternalWriter> Writer);
+  /// Binds an external-reader interface.
+  void bindReader(const std::string &InterfaceName,
+                  std::unique_ptr<ExternalReader> Reader);
+  /// Sets the verification environment model (not owned).
+  void setEnvModel(EnvModel *Model) { Env = Model; }
+
+  /// Runs every process from its entry to its first communication point.
+  /// Must be called once before step()/enumerateMoves().
+  void start();
+
+  //===--- Execution mode (firmware scheduler) ----------------------------===//
+
+  enum class StepResult : uint8_t { Progress, Quiescent, Halted, Errored };
+
+  /// One scheduler action: run the current process to its next block
+  /// point and try to pair it, or poll external channels when idle.
+  StepResult step();
+
+  /// Steps until quiescent/halted/errored or \p MaxSteps scheduler
+  /// actions.
+  StepResult run(uint64_t MaxSteps = UINT64_MAX);
+
+  //===--- Verification mode ----------------------------------------------===//
+
+  /// Enumerates every enabled move in the current state. All processes
+  /// must be Blocked/Done/Failed (i.e. after start()/applyMove()).
+  std::vector<Move> enumerateMoves();
+
+  /// Applies \p M: performs the transfer and runs both participants to
+  /// their next block points.
+  void applyMove(const Move &M);
+
+  /// True when no move is enabled and some process is still Blocked.
+  bool isDeadlocked();
+
+  /// True when every process ran to completion.
+  bool allDone() const;
+
+  /// Canonically serializes the entire machine state (PCs, slots,
+  /// reachable object graphs, prepared values). Two states with the same
+  /// serialization behave identically.
+  std::string serializeState() const;
+
+  /// Live objects unreachable from any root: leaked memory.
+  unsigned countLeakedObjects() const;
+
+  //===--- Introspection ---------------------------------------------------===//
+
+  const RuntimeError &error() const { return Error; }
+  const ExecStats &stats() const { return Stats; }
+  Heap &heap() { return H; }
+  const ModuleIR &module() const { return Module; }
+  unsigned numProcesses() const { return Procs.size(); }
+  const ProcState &proc(unsigned I) const { return Procs[I]; }
+
+  /// Snapshot/restore of the dynamic state (for the model checker).
+  struct Snapshot {
+    Heap H;
+    std::vector<ProcState> Procs;
+    RuntimeError Error;
+    bool Started = false;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot &S);
+
+private:
+  //===--- Interpreter core ------------------------------------------------===//
+
+  std::optional<Value> evalExpr(unsigned ProcIndex, const Expr *E);
+  bool execStore(unsigned ProcIndex, const Inst &I);
+  /// Runs process \p ProcIndex until it blocks, halts, or fails.
+  void runToBlock(unsigned ProcIndex);
+  /// Evaluates guards and (for non-lazy out cases) prepared values at a
+  /// block point.
+  void prepareBlock(unsigned ProcIndex);
+
+  void fail(RuntimeErrorKind Kind, SourceLoc Loc, int ProcIndex,
+            std::string Message);
+
+  //===--- Matching and transfer -------------------------------------------===//
+
+  /// Dry-run match of \p Values (1 value, or N elided fields) against
+  /// reader pattern \p Pat evaluated in \p ReaderIndex's context.
+  /// Returns false on mismatch; sets the machine error on runtime faults.
+  bool matchPattern(unsigned ReaderIndex, const Pattern *Pat,
+                    const std::vector<Value> &Values, bool Commit);
+  bool matchOne(unsigned ReaderIndex, const Pattern *Pat, const Value &V,
+                bool Commit);
+
+  /// Produces the out value(s) for case \p CaseIndex of blocked process
+  /// \p ProcIndex, using the prepared cache or evaluating lazily.
+  bool outValues(unsigned ProcIndex, unsigned CaseIndex,
+                 std::vector<Value> &Values);
+
+  /// Releases the temp reference of prepared-but-unused out values when a
+  /// different case of the alt commits.
+  void releaseLosingCases(unsigned ProcIndex, unsigned WinnerCase);
+
+  /// Grants the receiver its reference for each aggregate bound by the
+  /// pattern: rc++ in sharing mode, deep copy in verification mode.
+  std::optional<Value> receiverAcquire(const Value &V);
+  std::optional<Value> deepCopy(const Value &V);
+
+  /// Drops the sender-side temp reference when the out expression was an
+  /// allocation.
+  void dropSenderTemp(const Expr *OutExpr, const Value &V);
+  void dropValueTemp(const Value &V, SourceLoc Loc, int ProcIndex);
+
+  /// Performs a committed rendezvous between a writer and a reader case.
+  /// Either side may be the environment/externals.
+  bool transfer(int WriterIndex, unsigned WriterCase, int ReaderIndex,
+                unsigned ReaderCase, const std::vector<Value> *EnvValues);
+
+  //===--- Execution-mode scheduling ----------------------------------------===//
+
+  int popReady();
+  bool tryPair(unsigned ProcIndex);
+  bool pollExternals();
+  bool deliverExternalIn(unsigned ChannelId);
+  bool tryExternalOut(unsigned ProcIndex, unsigned CaseIndex);
+
+  /// Builds the full channel value for an external-writer interface case
+  /// from the binder values the binding produced.
+  std::optional<Value> buildFromInterfacePattern(const Pattern *Pat,
+                                                 const std::vector<Value> &Binders,
+                                                 size_t &Next);
+  /// Extracts binder-leaf values of an interface pattern from a value.
+  bool extractInterfaceBinders(const Pattern *Pat, const Value &V,
+                               std::vector<Value> &Out);
+
+  const ModuleIR &Module;
+  MachineOptions Options;
+  Heap H;
+  std::vector<ProcState> Procs;
+  RuntimeError Error;
+  ExecStats Stats;
+  bool Started = false;
+
+  // Execution-mode scheduler state.
+  std::deque<unsigned> ReadyQueue;
+  int Current = -1;
+  unsigned PollRotor = 0;
+
+  // External bindings, indexed by channel id.
+  std::vector<std::unique_ptr<ExternalWriter>> Writers;
+  std::vector<std::unique_ptr<ExternalReader>> Readers;
+  EnvModel *Env = nullptr;
+};
+
+} // namespace esp
+
+#endif // ESP_RUNTIME_MACHINE_H

@@ -1,0 +1,94 @@
+//===--- CostModel.h - NIC and firmware cost model --------------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The timing model of the simulated Myrinet network interface card
+/// (§2.1: 33 MHz LANai4.1, 1 MB SRAM, three DMA engines) and of the two
+/// firmware implementations. The paper's absolute numbers came from real
+/// hardware; these constants are calibrated so the *shape* of Figure 5
+/// reproduces: the hand-optimized fast path wins on small messages, the
+/// ESP firmware pays ~2x on 4-byte latency against the fast path but
+/// ~1.35x worst case against the no-fast-path baseline, and all three
+/// converge at large sizes where DMA/wire time dominates.
+///
+/// Firmware CPU time is *derived from execution*, not scripted: the ESP
+/// firmware charges per interpreted instruction / context switch /
+/// rendezvous measured from the real interpreter run, and the C-style
+/// firmware charges per handler dispatch / state transition performed by
+/// its actual handler code. Shared data-path actions (DMA programming,
+/// packet header work) cost the same on both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_SIM_COSTMODEL_H
+#define ESP_SIM_COSTMODEL_H
+
+#include <cstdint>
+
+namespace esp {
+namespace sim {
+
+struct CostModel {
+  //===--- CPU ---------------------------------------------------------------===//
+
+  /// 33 MHz LANai: ~30 ns per cycle.
+  uint64_t NsPerCycle = 30;
+
+  // ESP runtime costs (charged from interpreter statistics, §6.1).
+  uint64_t CyclesPerEspInstruction = 4;
+  uint64_t CyclesPerContextSwitch = 8;  ///< "only a few instructions".
+  uint64_t CyclesPerRendezvous = 12;    ///< Bitmask checks + transfer.
+  uint64_t CyclesPerPollRound = 6;      ///< Idle-loop poll of externals.
+
+  // C-style event-driven state machine costs (Appendix A runtime).
+  // Hand-written handlers spill live values to globals at every block
+  // point (§2.2), so a dispatch costs noticeably more than the ESP
+  // runtime's pc-only context switch — but a handler body is straight
+  // C, cheaper per unit of work than interpreted ESP.
+  uint64_t CyclesPerHandlerDispatch = 35; ///< Event lookup + call + spills.
+  uint64_t CyclesPerStateTransition = 8;  ///< setState.
+  uint64_t CyclesPerHandlerWork = 45;     ///< Body of a typical handler.
+  uint64_t CyclesPerFastPathSend = 50;    ///< Whole inlined send path.
+  uint64_t CyclesPerFastPathRecv = 45;    ///< Whole inlined receive path.
+
+  // Shared data-path actions (identical for every firmware).
+  uint64_t CyclesPerDmaProgram = 20;   ///< Writing DMA control registers.
+  uint64_t CyclesPerHeaderWork = 15;   ///< Packet header marshalling.
+  uint64_t CyclesPerTableLookup = 8;   ///< Address translation lookup.
+  uint64_t CyclesPerCompletion = 12;   ///< Posting a host notification.
+  uint64_t CyclesPerInlineByte = 1;    ///< PIO copy for small messages.
+
+  //===--- DMA engines ---------------------------------------------------------===//
+
+  /// Host (EBUS) DMA: ~133 MB/s sustained.
+  uint64_t HostDmaSetupNs = 900;
+  double HostDmaNsPerByte = 7.5;
+
+  /// Network send/receive DMA: ~160 MB/s (1.28 Gb/s Myrinet).
+  uint64_t NetDmaSetupNs = 500;
+  double NetDmaNsPerByte = 6.25;
+
+  //===--- Wire ---------------------------------------------------------------===//
+
+  uint64_t WireLatencyNs = 500;        ///< Propagation + switch.
+  double WireNsPerByte = 6.25;         ///< 1.28 Gb/s.
+  uint64_t PacketHeaderBytes = 16;
+
+  //===--- Protocol constants ---------------------------------------------------===//
+
+  uint32_t PageSize = 4096;
+  uint32_t Mtu = 4096;             ///< One packet per page.
+  uint32_t SmallMessageMax = 32;   ///< Inlined small-message special case.
+  uint32_t WindowSize = 8;         ///< Sliding-window width.
+  uint64_t RetransTimeoutNs = 2'000'000;
+  uint64_t TimerTickNs = 500'000;
+  uint32_t NumSramBuffers = 64;
+};
+
+} // namespace sim
+} // namespace esp
+
+#endif // ESP_SIM_COSTMODEL_H

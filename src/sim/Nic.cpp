@@ -1,0 +1,272 @@
+//===--- Nic.cpp - Simulated Myrinet network interface card -----------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Nic.h"
+
+#include <cassert>
+
+using namespace esp;
+using namespace esp::sim;
+
+//===----------------------------------------------------------------------===//
+// NicEnv
+//===----------------------------------------------------------------------===//
+
+const CostModel &NicEnv::costs() const {
+  return Device.simulator().costs();
+}
+
+SimTime NicEnv::localNow() const {
+  return Device.QuantumStart + ChargedCycles * costs().NsPerCycle;
+}
+
+bool NicEnv::hasHostReq() const { return !Device.HostQ.empty(); }
+const HostReq &NicEnv::peekHostReq() const { return Device.HostQ.front(); }
+HostReq NicEnv::popHostReq() {
+  HostReq Req = Device.HostQ.front();
+  Device.HostQ.pop_front();
+  return Req;
+}
+
+bool NicEnv::bufferAvailable() const { return !Device.FreeBuffers.empty(); }
+int NicEnv::allocBuffer() {
+  assert(!Device.FreeBuffers.empty() && "SRAM buffer underflow");
+  int Buf = Device.FreeBuffers.back();
+  Device.FreeBuffers.pop_back();
+  return Buf;
+}
+void NicEnv::freeBuffer(int Buf) { Device.FreeBuffers.push_back(Buf); }
+
+bool NicEnv::hostDmaFree() const {
+  return Device.HostDmaBusyUntil <= localNow();
+}
+
+void NicEnv::startHostDmaFetch(uint32_t Bytes, uint64_t Tag) {
+  const CostModel &C = costs();
+  charge(C.CyclesPerDmaProgram);
+  SimTime Start = std::max(localNow(), Device.HostDmaBusyUntil);
+  SimTime Done = Start + C.HostDmaSetupNs +
+                 static_cast<SimTime>(Bytes * C.HostDmaNsPerByte);
+  Device.HostDmaBusyUntil = Done;
+  Nic *N = &Device;
+  Device.simulator().events().scheduleAt(Done, [N, Tag] {
+    N->FetchDoneQ.push_back(Tag);
+    N->schedulePoll();
+  });
+}
+
+void NicEnv::startHostDmaDeliver(uint32_t Bytes, uint64_t Tag) {
+  const CostModel &C = costs();
+  charge(C.CyclesPerDmaProgram);
+  SimTime Start = std::max(localNow(), Device.HostDmaBusyUntil);
+  SimTime Done = Start + C.HostDmaSetupNs +
+                 static_cast<SimTime>(Bytes * C.HostDmaNsPerByte);
+  Device.HostDmaBusyUntil = Done;
+  Nic *N = &Device;
+  Device.simulator().events().scheduleAt(Done, [N, Tag] {
+    N->DeliverDoneQ.push_back(Tag);
+    N->schedulePoll();
+  });
+}
+
+bool NicEnv::hasFetchDone() const { return !Device.FetchDoneQ.empty(); }
+uint64_t NicEnv::popFetchDone() {
+  uint64_t Tag = Device.FetchDoneQ.front();
+  Device.FetchDoneQ.pop_front();
+  return Tag;
+}
+bool NicEnv::hasDeliverDone() const {
+  return !Device.DeliverDoneQ.empty();
+}
+uint64_t NicEnv::popDeliverDone() {
+  uint64_t Tag = Device.DeliverDoneQ.front();
+  Device.DeliverDoneQ.pop_front();
+  return Tag;
+}
+
+bool NicEnv::sendDmaFree() const {
+  return Device.SendDmaBusyUntil <= localNow();
+}
+
+SimTime NicEnv::hostDmaBusyUntilTime() const {
+  return Device.HostDmaBusyUntil;
+}
+SimTime NicEnv::sendDmaBusyUntilTime() const {
+  return Device.SendDmaBusyUntil;
+}
+
+void NicEnv::transmit(Packet P) {
+  const CostModel &C = costs();
+  charge(C.CyclesPerDmaProgram + C.CyclesPerHeaderWork);
+  P.Src = Device.nodeId();
+  P.SentAt = localNow();
+  ++Device.PacketsSent;
+  Device.simulator().transmit(P, localNow());
+}
+
+bool NicEnv::hasRxPacket() const { return !Device.RxQ.empty(); }
+const Packet &NicEnv::peekRxPacket() const { return Device.RxQ.front(); }
+Packet NicEnv::popRxPacket() {
+  Packet P = Device.RxQ.front();
+  Device.RxQ.pop_front();
+  return P;
+}
+
+uint64_t NicEnv::ticks() const { return Device.TickCount; }
+bool NicEnv::timerFired() const {
+  return Device.TickCount > Device.LastSeenTick;
+}
+void NicEnv::clearTimerEvent() { Device.LastSeenTick = Device.TickCount; }
+
+void NicEnv::notifyRecv(int Src, uint32_t Size, uint64_t Token) {
+  charge(costs().CyclesPerCompletion);
+  if (!Device.OnRecv)
+    return;
+  RecvNotification Note;
+  Note.Src = Src;
+  Note.Size = Size;
+  Note.Token = Token;
+  Note.At = localNow();
+  // The host observes the completion after the quantum's local time.
+  Nic *N = &Device;
+  Device.simulator().events().scheduleAt(Note.At, [N, Note] {
+    if (N->OnRecv)
+      N->OnRecv(Note);
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Nic
+//===----------------------------------------------------------------------===//
+
+Nic::Nic(int NodeId, Simulator &Sim) : NodeId(NodeId), Sim(Sim) {
+  const CostModel &C = Sim.costs();
+  for (unsigned I = 0; I != C.NumSramBuffers; ++I)
+    FreeBuffers.push_back(static_cast<int>(I));
+}
+
+void Nic::setFirmware(std::unique_ptr<Firmware> NewFW) {
+  FW = std::move(NewFW);
+}
+
+void Nic::postRequest(HostReq Req) {
+  Req.PostedAt = Sim.now();
+  HostQ.push_back(Req);
+  schedulePoll();
+}
+
+void Nic::deliverPacket(Packet P) {
+  ++PacketsReceived;
+  RxQ.push_back(P);
+  schedulePoll();
+}
+
+bool Nic::workPending() const {
+  return !HostQ.empty() || !RxQ.empty() || !FetchDoneQ.empty() ||
+         !DeliverDoneQ.empty() || TickCount > LastSeenTick;
+}
+
+void Nic::schedulePoll() {
+  if (PollScheduled || !FW)
+    return;
+  PollScheduled = true;
+  SimTime At = std::max(Sim.now(), CpuBusyUntil);
+  Sim.events().scheduleAt(At, [this] {
+    PollScheduled = false;
+    pollNow();
+  });
+}
+
+void Nic::pollNow() {
+  if (!FW || !workPending())
+    return;
+  QuantumStart = std::max(Sim.now(), CpuBusyUntil);
+  NicEnv Env(*this);
+  ActiveEnv = &Env;
+  FW->runQuantum(Env);
+  ActiveEnv = nullptr;
+  TotalCycles += Env.charged();
+  CpuBusyUntil = QuantumStart + Env.charged() * Sim.costs().NsPerCycle;
+  // If the quantum left work behind (e.g. it stopped because a DMA was
+  // busy), poll again once the blocking resource frees up; the next
+  // completion event will also wake us.
+  SimTime Repoll = FW->repollAt();
+  if (Repoll > Sim.now() && !PollScheduled) {
+    PollScheduled = true;
+    Sim.events().scheduleAt(std::max(Repoll, CpuBusyUntil), [this] {
+      PollScheduled = false;
+      pollNow();
+    });
+  } else if (workPending()) {
+    schedulePoll();
+  }
+}
+
+void Nic::startTimer() {
+  if (TimerRunning)
+    return;
+  TimerRunning = true;
+  Sim.events().scheduleAfter(Sim.costs().TimerTickNs,
+                             [this] { timerTick(); });
+}
+
+void Nic::timerTick() {
+  ++TickCount;
+  schedulePoll();
+  Sim.events().scheduleAfter(Sim.costs().TimerTickNs,
+                             [this] { timerTick(); });
+}
+
+//===----------------------------------------------------------------------===//
+// Simulator
+//===----------------------------------------------------------------------===//
+
+Simulator::Simulator(unsigned NumNodes, CostModel InitialCosts)
+    : Costs(InitialCosts) {
+  for (unsigned I = 0; I != NumNodes; ++I)
+    Nics.push_back(std::make_unique<Nic>(static_cast<int>(I), *this));
+  WireBusyUntil.assign(NumNodes * NumNodes, 0);
+}
+
+void Simulator::transmit(Packet P, SimTime EarliestStart) {
+  assert(P.Dest >= 0 && P.Dest < static_cast<int>(Nics.size()) &&
+         "bad destination node");
+  Nic &Src = *Nics[P.Src];
+  uint32_t WireBytes = P.PayloadBytes + Costs.PacketHeaderBytes;
+
+  // Send DMA: SRAM to wire.
+  SimTime DmaStart = std::max(EarliestStart, Src.SendDmaBusyUntil);
+  SimTime DmaDone = DmaStart + Costs.NetDmaSetupNs +
+                    static_cast<SimTime>(WireBytes * Costs.NetDmaNsPerByte);
+  Src.SendDmaBusyUntil = DmaDone;
+
+  if (DropFn && DropFn(P)) {
+    ++PacketsDropped;
+    return;
+  }
+
+  // Wire occupancy per direction, then propagation, then the receive DMA
+  // into the destination's SRAM.
+  SimTime &Wire = WireBusyUntil[P.Src * Nics.size() + P.Dest];
+  SimTime WireStart = std::max(DmaDone, Wire);
+  SimTime WireDone =
+      WireStart + static_cast<SimTime>(WireBytes * Costs.WireNsPerByte);
+  Wire = WireDone;
+  SimTime Arrive = WireDone + Costs.WireLatencyNs + Costs.NetDmaSetupNs +
+                   static_cast<SimTime>(WireBytes * Costs.NetDmaNsPerByte);
+  Nic *Dest = Nics[P.Dest].get();
+  Events.scheduleAt(Arrive, [Dest, P] { Dest->deliverPacket(P); });
+}
+
+bool Simulator::runUntil(const std::function<bool()> &Pred,
+                         SimTime MaxTime) {
+  while (!Pred()) {
+    if (Events.empty() || Events.now() > MaxTime)
+      return Pred();
+    Events.step();
+  }
+  return true;
+}

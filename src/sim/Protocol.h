@@ -1,0 +1,66 @@
+//===--- Protocol.h - Host requests and wire packets ------------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data structures shared by the host library, both firmware
+/// implementations, and the network model: VMMC host requests (send /
+/// address-translation update, §2.2) and the wire packet format of the
+/// sliding-window retransmission protocol (§5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_SIM_PROTOCOL_H
+#define ESP_SIM_PROTOCOL_H
+
+#include "sim/EventSim.h"
+
+#include <cstdint>
+
+namespace esp {
+namespace sim {
+
+/// A request posted by the host library to the NIC (the userT union of
+/// the paper's Appendix B).
+struct HostReq {
+  enum class Kind : uint8_t { Send, Update };
+  Kind K = Kind::Send;
+  // Send.
+  int Dest = 0;
+  uint64_t VAddr = 0;
+  uint32_t Size = 0;
+  uint64_t Token = 0; ///< Opaque message id for workload bookkeeping.
+  // Update.
+  uint64_t PAddr = 0;
+  SimTime PostedAt = 0;
+};
+
+/// One packet on the wire. Data packets carry a window sequence number
+/// and a piggybacked cumulative ack; pure-ack packets have Kind::Ack.
+struct Packet {
+  enum class Kind : uint8_t { Data, Ack };
+  Kind K = Kind::Data;
+  int Src = 0;
+  int Dest = 0;
+  uint32_t Seq = 0;
+  uint32_t Ack = 0; ///< Piggybacked cumulative ack (next expected seq).
+  uint32_t PayloadBytes = 0;
+  uint32_t MsgBytes = 0; ///< Total message size (for reassembly).
+  uint64_t Token = 0;
+  SimTime SentAt = 0;
+};
+
+/// Host-visible receive completion.
+struct RecvNotification {
+  int Src = 0;
+  uint32_t Size = 0;
+  uint64_t Token = 0;
+  SimTime At = 0;
+};
+
+} // namespace sim
+} // namespace esp
+
+#endif // ESP_SIM_PROTOCOL_H

@@ -1,0 +1,58 @@
+//===--- Diagnostics.cpp - Diagnostic engine -------------------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/SourceManager.h"
+
+#include <sstream>
+
+using namespace esp;
+
+void DiagnosticEngine::report(DiagSeverity Severity, SourceLoc Loc,
+                              std::string Message) {
+  if (Severity == DiagSeverity::Error)
+    ++NumErrors;
+  else if (Severity == DiagSeverity::Warning)
+    ++NumWarnings;
+  Diags.push_back(Diagnostic{Severity, Loc, std::move(Message)});
+}
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "error";
+}
+
+std::string DiagnosticEngine::render(const Diagnostic &D) const {
+  DecodedLoc DL = SM.decode(D.Loc);
+  std::ostringstream OS;
+  OS << DL.FileName << ':' << DL.Line << ':' << DL.Column << ": "
+     << severityName(D.Severity) << ": " << D.Message;
+  return OS.str();
+}
+
+std::string DiagnosticEngine::renderAll() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += render(D);
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool DiagnosticEngine::containsMessage(const std::string &Needle) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}

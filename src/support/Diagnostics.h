@@ -1,0 +1,84 @@
+//===--- Diagnostics.h - Diagnostic engine ----------------------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The diagnostic engine used by every compiler stage. Diagnostics are
+/// accumulated (not printed eagerly) so that tests can assert on them and
+/// tools can choose their own rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_SUPPORT_DIAGNOSTICS_H
+#define ESP_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace esp {
+
+class SourceManager;
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics produced by the lexer, parser, semantic checker,
+/// lowering, and backends.
+class DiagnosticEngine {
+public:
+  explicit DiagnosticEngine(const SourceManager &SM) : SM(SM) {}
+
+  void report(DiagSeverity Severity, SourceLoc Loc, std::string Message);
+
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned getNumErrors() const { return NumErrors; }
+  unsigned getNumWarnings() const { return NumWarnings; }
+
+  const std::vector<Diagnostic> &getDiagnostics() const { return Diags; }
+
+  /// Renders one diagnostic as "file:line:col: severity: message".
+  std::string render(const Diagnostic &D) const;
+
+  /// Renders all diagnostics, one per line, in order of report.
+  std::string renderAll() const;
+
+  /// True if any accumulated diagnostic message contains \p Needle.
+  /// Convenience for tests.
+  bool containsMessage(const std::string &Needle) const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+    NumWarnings = 0;
+  }
+
+private:
+  const SourceManager &SM;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+};
+
+} // namespace esp
+
+#endif // ESP_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,77 @@
+//===--- SourceManager.cpp - Owns source buffers --------------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+using namespace esp;
+
+uint32_t SourceManager::addBuffer(std::string Name, std::string Text) {
+  Buffers.push_back(Buffer{std::move(Name), std::move(Text), {}});
+  return static_cast<uint32_t>(Buffers.size() - 1);
+}
+
+uint32_t SourceManager::addFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return UINT32_MAX;
+  std::ostringstream Contents;
+  Contents << In.rdbuf();
+  return addBuffer(Path, Contents.str());
+}
+
+std::string_view SourceManager::getBuffer(uint32_t FileId) const {
+  assert(FileId < Buffers.size() && "file id out of range");
+  return Buffers[FileId].Text;
+}
+
+std::string_view SourceManager::getBufferName(uint32_t FileId) const {
+  assert(FileId < Buffers.size() && "file id out of range");
+  return Buffers[FileId].Name;
+}
+
+const std::vector<uint32_t> &
+SourceManager::getLineStarts(const Buffer &B) const {
+  if (!B.LineStarts.empty())
+    return B.LineStarts;
+  B.LineStarts.push_back(0);
+  for (uint32_t I = 0, E = B.Text.size(); I != E; ++I)
+    if (B.Text[I] == '\n')
+      B.LineStarts.push_back(I + 1);
+  return B.LineStarts;
+}
+
+DecodedLoc SourceManager::decode(SourceLoc Loc) const {
+  if (!Loc.isValid() || Loc.getFileId() >= Buffers.size())
+    return DecodedLoc{"<unknown>", 0, 0};
+  const Buffer &B = Buffers[Loc.getFileId()];
+  const std::vector<uint32_t> &Starts = getLineStarts(B);
+  uint32_t Offset = std::min<uint32_t>(Loc.getOffset(), B.Text.size());
+  // Find the last line start <= Offset.
+  auto It = std::upper_bound(Starts.begin(), Starts.end(), Offset);
+  unsigned Line = static_cast<unsigned>(It - Starts.begin());
+  uint32_t LineStart = Starts[Line - 1];
+  return DecodedLoc{B.Name, Line, Offset - LineStart + 1};
+}
+
+std::string_view SourceManager::getLineText(SourceLoc Loc) const {
+  if (!Loc.isValid() || Loc.getFileId() >= Buffers.size())
+    return {};
+  const Buffer &B = Buffers[Loc.getFileId()];
+  const std::vector<uint32_t> &Starts = getLineStarts(B);
+  uint32_t Offset = std::min<uint32_t>(Loc.getOffset(), B.Text.size());
+  auto It = std::upper_bound(Starts.begin(), Starts.end(), Offset);
+  uint32_t LineStart = Starts[It - Starts.begin() - 1];
+  size_t LineEnd = B.Text.find('\n', LineStart);
+  if (LineEnd == std::string::npos)
+    LineEnd = B.Text.size();
+  return std::string_view(B.Text).substr(LineStart, LineEnd - LineStart);
+}

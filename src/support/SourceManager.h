@@ -1,0 +1,72 @@
+//===--- SourceManager.h - Owns source buffers ------------------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SourceManager owns the text of every ESP source buffer and maps
+/// SourceLocs back to file/line/column for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_SUPPORT_SOURCEMANAGER_H
+#define ESP_SUPPORT_SOURCEMANAGER_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esp {
+
+/// Human-readable decoded position for diagnostics.
+struct DecodedLoc {
+  std::string_view FileName;
+  unsigned Line = 0;   ///< 1-based.
+  unsigned Column = 0; ///< 1-based.
+};
+
+/// Owns source buffers and decodes SourceLocs.
+class SourceManager {
+public:
+  /// Registers \p Text under \p Name and returns the new buffer's file id.
+  uint32_t addBuffer(std::string Name, std::string Text);
+
+  /// Reads \p Path from disk and registers it. Returns the file id, or
+  /// UINT32_MAX if the file could not be read.
+  uint32_t addFile(const std::string &Path);
+
+  /// Returns the full text of buffer \p FileId.
+  std::string_view getBuffer(uint32_t FileId) const;
+
+  /// Returns the registered name of buffer \p FileId.
+  std::string_view getBufferName(uint32_t FileId) const;
+
+  unsigned getNumBuffers() const { return Buffers.size(); }
+
+  /// Decodes \p Loc into file/line/column. Invalid locations decode to
+  /// "<unknown>" with line and column 0.
+  DecodedLoc decode(SourceLoc Loc) const;
+
+  /// Returns the text of the line containing \p Loc (without newline),
+  /// for use in caret diagnostics.
+  std::string_view getLineText(SourceLoc Loc) const;
+
+private:
+  struct Buffer {
+    std::string Name;
+    std::string Text;
+    /// Byte offsets of each line start, built lazily on first decode.
+    mutable std::vector<uint32_t> LineStarts;
+  };
+
+  const std::vector<uint32_t> &getLineStarts(const Buffer &B) const;
+
+  std::vector<Buffer> Buffers;
+};
+
+} // namespace esp
+
+#endif // ESP_SUPPORT_SOURCEMANAGER_H

@@ -1,0 +1,74 @@
+//===--- StringExtras.cpp - Small string helpers ---------------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringExtras.h"
+
+using namespace esp;
+
+std::vector<std::string_view> esp::split(std::string_view Text, char Sep) {
+  std::vector<std::string_view> Out;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Out.push_back(Text.substr(Start));
+      return Out;
+    }
+    Out.push_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string esp::join(const std::vector<std::string> &Pieces,
+                      std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0, E = Pieces.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Pieces[I];
+  }
+  return Out;
+}
+
+uint64_t esp::fnv1aHash(const void *Data, size_t Size, uint64_t Seed) {
+  const unsigned char *Bytes = static_cast<const unsigned char *>(Data);
+  uint64_t Hash = Seed;
+  for (size_t I = 0; I != Size; ++I) {
+    Hash ^= Bytes[I];
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+unsigned esp::countEffectiveLines(std::string_view Text) {
+  unsigned Count = 0;
+  bool InBlockComment = false;
+  for (std::string_view Line : split(Text, '\n')) {
+    bool HasCode = false;
+    for (size_t I = 0; I < Line.size(); ++I) {
+      char C = Line[I];
+      if (InBlockComment) {
+        if (C == '*' && I + 1 < Line.size() && Line[I + 1] == '/') {
+          InBlockComment = false;
+          ++I;
+        }
+        continue;
+      }
+      if (C == '/' && I + 1 < Line.size() && Line[I + 1] == '/')
+        break; // Rest of line is a comment.
+      if (C == '/' && I + 1 < Line.size() && Line[I + 1] == '*') {
+        InBlockComment = true;
+        ++I;
+        continue;
+      }
+      if (C != ' ' && C != '\t' && C != '\r')
+        HasCode = true;
+    }
+    if (HasCode)
+      ++Count;
+  }
+  return Count;
+}

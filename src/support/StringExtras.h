@@ -1,0 +1,51 @@
+//===--- StringExtras.h - Small string helpers ------------------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared across the compiler and runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_SUPPORT_STRINGEXTRAS_H
+#define ESP_SUPPORT_STRINGEXTRAS_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esp {
+
+/// Splits \p Text on \p Sep, keeping empty pieces.
+std::vector<std::string_view> split(std::string_view Text, char Sep);
+
+/// Joins \p Pieces with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Pieces,
+                 std::string_view Sep);
+
+/// True if \p C can start an ESP identifier.
+inline bool isIdentStart(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+}
+
+/// True if \p C can continue an ESP identifier.
+inline bool isIdentChar(char C) {
+  return isIdentStart(C) || (C >= '0' && C <= '9');
+}
+
+/// True if \p C is an ASCII decimal digit.
+inline bool isDigit(char C) { return C >= '0' && C <= '9'; }
+
+/// FNV-1a over a byte string; used for state hashing in the model checker.
+uint64_t fnv1aHash(const void *Data, size_t Size, uint64_t Seed = 0xcbf29ce484222325ULL);
+
+/// Counts non-blank, non-comment-only lines of an ESP or C source text.
+/// Used by the lines-of-code experiment table.
+unsigned countEffectiveLines(std::string_view Text);
+
+} // namespace esp
+
+#endif // ESP_SUPPORT_STRINGEXTRAS_H

@@ -1,0 +1,206 @@
+//===--- espc.cpp - The ESP compiler driver ----------------------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+// The compiler of Figure 4: takes an ESP program and generates the two
+// targets — a C file for the firmware build and a SPIN (Promela)
+// specification for verification. Additionally supports IR dumps,
+// check-only runs, and direct execution of closed programs on the ESP
+// runtime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CCodeGen.h"
+#include "codegen/PromelaGen.h"
+#include "frontend/Parser.h"
+#include "frontend/PrettyPrinter.h"
+#include "frontend/Sema.h"
+#include "ir/Passes.h"
+#include "runtime/Machine.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+using namespace esp;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: espc [options] <file.esp>\n"
+      "\n"
+      "The ESP compiler (PLDI 2001 reproduction). Generates the two\n"
+      "targets of the paper's Figure 4.\n"
+      "\n"
+      "options:\n"
+      "  --emit-c          generate C firmware code (default)\n"
+      "  --emit-header     generate the C entry-point header\n"
+      "  --emit-spin       generate the SPIN (Promela) specification\n"
+      "  --dump-ir         dump the state-machine IR\n"
+      "  --check           parse and type-check only\n"
+      "  --format          pretty-print the program in canonical form\n"
+      "  --run             execute a closed program on the ESP runtime\n"
+      "  --safety          compile liveness/bounds assertions into the C\n"
+      "                    (debug firmware; freed objects are quarantined)\n"
+      "  --max-steps N     step limit for --run (default 1000000)\n"
+      "  --instances N     program copies in the SPIN spec (default 1)\n"
+      "  -O0               disable the section 6.1 optimizations\n"
+      "  -o <file>         write output to <file> instead of stdout\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  enum class Action { EmitC, EmitHeader, EmitSpin, DumpIR, Check, Run, Format };
+  Action Act = Action::EmitC;
+  bool Optimize = true;
+  bool SafetyChecks = false;
+  std::string InputPath;
+  std::string OutputPath;
+  unsigned Instances = 1;
+  uint64_t MaxSteps = 1'000'000;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--emit-c") {
+      Act = Action::EmitC;
+    } else if (Arg == "--emit-header") {
+      Act = Action::EmitHeader;
+    } else if (Arg == "--emit-spin") {
+      Act = Action::EmitSpin;
+    } else if (Arg == "--dump-ir") {
+      Act = Action::DumpIR;
+    } else if (Arg == "--check") {
+      Act = Action::Check;
+    } else if (Arg == "--format") {
+      Act = Action::Format;
+    } else if (Arg == "--run") {
+      Act = Action::Run;
+    } else if (Arg == "-O0") {
+      Optimize = false;
+    } else if (Arg == "--safety") {
+      SafetyChecks = true;
+    } else if (Arg == "-o" && I + 1 < Argc) {
+      OutputPath = Argv[++I];
+    } else if (Arg == "--instances" && I + 1 < Argc) {
+      Instances = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (Arg == "--max-steps" && I + 1 < Argc) {
+      MaxSteps = static_cast<uint64_t>(std::atoll(Argv[++I]));
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "espc: unknown option '%s'\n", Arg.c_str());
+      printUsage();
+      return 2;
+    } else {
+      if (!InputPath.empty()) {
+        std::fprintf(stderr, "espc: multiple input files\n");
+        return 2;
+      }
+      InputPath = Arg;
+    }
+  }
+  if (InputPath.empty()) {
+    printUsage();
+    return 2;
+  }
+
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  uint32_t FileId = SM.addFile(InputPath);
+  if (FileId == UINT32_MAX) {
+    std::fprintf(stderr, "espc: cannot read '%s'\n", InputPath.c_str());
+    return 1;
+  }
+  Parser P(SM, FileId, Diags);
+  std::unique_ptr<Program> Prog = P.parseProgram();
+  bool OK = !Diags.hasErrors() && checkProgram(*Prog, Diags);
+  std::fprintf(stderr, "%s", Diags.renderAll().c_str());
+  if (!OK)
+    return 1;
+  if (Act == Action::Check) {
+    std::fprintf(stderr, "espc: %s: ok (%zu processes, %zu channels)\n",
+                 InputPath.c_str(), Prog->Processes.size(),
+                 Prog->Channels.size());
+    return 0;
+  }
+
+  std::string Output;
+  if (Act == Action::Format) {
+    Output = printProgram(*Prog);
+  } else if (Act == Action::EmitSpin) {
+    PromelaGenOptions Options;
+    Options.Instances = Instances;
+    Output = generatePromela(*Prog, Options);
+  } else {
+    ModuleIR Module = lowerProgram(*Prog);
+    if (Optimize)
+      optimizeModule(Module, OptOptions::all());
+    switch (Act) {
+    case Action::EmitC: {
+      CCodeGenOptions CGOptions;
+      CGOptions.EmitSafetyChecks = SafetyChecks;
+      Output = generateC(Module, CGOptions);
+      break;
+    }
+    case Action::EmitHeader:
+      Output = generateCHeader(Module);
+      break;
+    case Action::DumpIR:
+      Output = Module.dump();
+      break;
+    case Action::Run: {
+      for (const std::unique_ptr<ChannelDecl> &Chan : Prog->Channels) {
+        if (Chan->Role != ChannelRole::Internal) {
+          std::fprintf(stderr,
+                       "espc: --run requires a closed program; channel "
+                       "'%s' has an external interface\n",
+                       Chan->Name.c_str());
+          return 1;
+        }
+      }
+      Machine M(Module, MachineOptions());
+      M.start();
+      Machine::StepResult R = M.run(MaxSteps);
+      if (M.error()) {
+        std::fprintf(stderr, "espc: runtime error: %s (%s)\n",
+                     M.error().Message.c_str(),
+                     runtimeErrorKindName(M.error().Kind));
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "espc: %s after %llu rendezvous, %llu instructions, "
+                   "%llu context switches (%u live objects)\n",
+                   R == Machine::StepResult::Halted ? "halted"
+                                                    : "quiescent",
+                   (unsigned long long)M.stats().Rendezvous,
+                   (unsigned long long)M.stats().Instructions,
+                   (unsigned long long)M.stats().ContextSwitches,
+                   M.heap().getLiveCount());
+      return 0;
+    }
+    case Action::EmitSpin:
+    case Action::Check:
+    case Action::Format:
+      break;
+    }
+  }
+
+  if (OutputPath.empty()) {
+    std::fwrite(Output.data(), 1, Output.size(), stdout);
+  } else {
+    std::ofstream Out(OutputPath);
+    if (!Out) {
+      std::fprintf(stderr, "espc: cannot write '%s'\n", OutputPath.c_str());
+      return 1;
+    }
+    Out << Output;
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===--- EspFirmware.h - VMMC firmware running on the ESP runtime -*- C++ -*-=//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// vmmcESP: the VMMC firmware written in ESP, compiled by the ESP
+/// compiler and executed by the ESP runtime on the simulated NIC. The
+/// external interfaces bind to the NIC environment; firmware CPU time is
+/// charged from the interpreter's real execution statistics (§6.1 cost
+/// structure: instructions, context switches, rendezvous, poll rounds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_VMMC_ESPFIRMWARE_H
+#define ESP_VMMC_ESPFIRMWARE_H
+
+#include "ir/Passes.h"
+#include "runtime/Machine.h"
+#include "sim/Nic.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <memory>
+
+namespace esp {
+namespace vmmc {
+
+/// The ESP-based VMMC firmware.
+class EspFirmware : public sim::Firmware {
+public:
+  /// \p Optimize controls the §6.1 compiler optimizations (ablations
+  /// disable them).
+  explicit EspFirmware(OptOptions Optimize = OptOptions::all());
+  ~EspFirmware() override;
+
+  void runQuantum(sim::NicEnv &Env) override;
+  const char *name() const override { return "vmmcESP"; }
+
+  /// The live environment during a quantum (used by the bindings).
+  sim::NicEnv *CurEnv = nullptr;
+  /// Earliest time a busy device resource frees up; the NIC re-polls
+  /// then if the firmware is stalled on it.
+  sim::SimTime RepollAt = 0;
+
+  Machine &machine() { return *M; }
+  const ExecStats &lastStats() const { return Last; }
+
+private:
+  SourceManager SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<Program> Prog;
+  ModuleIR Module;
+  std::unique_ptr<Machine> M;
+  ExecStats Last;
+};
+
+} // namespace vmmc
+} // namespace esp
+
+#endif // ESP_VMMC_ESPFIRMWARE_H

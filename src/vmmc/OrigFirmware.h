@@ -1,0 +1,224 @@
+//===--- OrigFirmware.h - Baseline C-style VMMC firmware --------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// vmmcOrig: the baseline VMMC firmware written in the traditional
+/// event-driven state-machine style of the paper's Appendix A — a
+/// setHandler/setState/deliverEvent runtime, handlers that communicate
+/// through global variables, and hand-optimized fast paths that bypass
+/// the state machines when the DMAs are free and no other request is in
+/// flight (§2.2). Functionally identical to the ESP firmware; the
+/// difference is the concurrency machinery, whose costs are charged per
+/// handler dispatch and state transition instead of per interpreted ESP
+/// instruction.
+///
+/// vmmcOrigNoFastPaths is the same firmware with the fast paths disabled
+/// (the paper's third measurement series).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_VMMC_ORIGFIRMWARE_H
+#define ESP_VMMC_ORIGFIRMWARE_H
+
+#include "sim/Nic.h"
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace esp {
+namespace vmmc {
+
+/// The Appendix A event-driven state-machine runtime: handlers are
+/// registered per (state machine, state, event); delivering an event
+/// queues it; dispatch invokes the handler registered for the machine's
+/// *current* state.
+class SmRuntime {
+public:
+  using Handler = std::function<void()>;
+
+  void setHandler(int Sm, int State, int Event, Handler H) {
+    Handlers[key(Sm, State, Event)] = std::move(H);
+  }
+  void setState(int Sm, int State) {
+    States[Sm] = State;
+    if (ChargeTransition)
+      ChargeTransition();
+  }
+  int getState(int Sm) const {
+    auto It = States.find(Sm);
+    return It == States.end() ? 0 : It->second;
+  }
+  bool isState(int Sm, int State) const { return getState(Sm) == State; }
+  void deliverEvent(int Sm, int Event) { Queue.push_back({Sm, Event}); }
+
+  /// Dispatches every queued event; returns true if any handler ran.
+  /// Events with no handler for the current state are dropped (the
+  /// hazard the paper complains about).
+  bool dispatchPending() {
+    bool Ran = false;
+    while (!Queue.empty()) {
+      auto [Sm, Event] = Queue.front();
+      Queue.pop_front();
+      auto It = Handlers.find(key(Sm, getState(Sm), Event));
+      if (It == Handlers.end())
+        continue;
+      if (ChargeDispatch)
+        ChargeDispatch();
+      It->second();
+      Ran = true;
+    }
+    return Ran;
+  }
+
+  std::function<void()> ChargeDispatch;
+  std::function<void()> ChargeTransition;
+
+private:
+  static uint64_t key(int Sm, int State, int Event) {
+    return (static_cast<uint64_t>(Sm) << 32) |
+           (static_cast<uint64_t>(State & 0xffff) << 16) |
+           static_cast<uint64_t>(Event & 0xffff);
+  }
+  std::map<uint64_t, Handler> Handlers;
+  std::map<int, int> States;
+  std::deque<std::pair<int, int>> Queue;
+};
+
+/// The baseline firmware.
+class OrigFirmware : public sim::Firmware {
+public:
+  explicit OrigFirmware(bool FastPaths);
+
+  void runQuantum(sim::NicEnv &Env) override;
+  const char *name() const override {
+    return FastPaths ? "vmmcOrig" : "vmmcOrigNoFastPaths";
+  }
+  sim::SimTime repollAt() const override { return Repoll; }
+
+  uint64_t FastPathTaken = 0;
+  uint64_t SlowPathTaken = 0;
+
+private:
+  // State machines and events (Appendix A style).
+  enum Sm { SM_SEND, SM_WINDOW, SM_RX, SM_DELIVER };
+  enum SendState { S_WaitReq, S_WaitHostDma, S_WaitFetch, S_WaitWindow };
+  enum DeliverState { D_Idle, D_WaitRdma };
+  enum Event {
+    EV_REQ,
+    EV_DMA_FREE,
+    EV_FETCH_DONE,
+    EV_ENQUEUE,       ///< SM1 -> SM2 hand-off through globals (reqSM2).
+    EV_WINDOW_SPACE,
+    EV_PKT,
+    EV_TICK,
+    EV_RDMA_DONE,
+    EV_TX_READY,
+  };
+
+  void installHandlers();
+
+  // Handlers.
+  void handleReq();
+  void handleDmaFree();
+  void handleFetchDone();
+  void handleEnqueue();
+  void handleWindowSpace();
+  bool tryFastReceive();
+  void handleRxPacket();
+  void handleTick();
+  void handleRdmaDone();
+  void handleTxReady();
+
+  // Shared helpers (called directly across "state machines" — exactly
+  // the global-variable coupling the paper describes).
+  uint64_t translate(uint64_t VAddr);
+  bool tryStartFetch();
+  void enqueueWindow(int Dest, int Buf, uint32_t Size, uint32_t MsgBytes,
+                     uint64_t Token);
+  void transmitSlot(unsigned Slot);
+  void transmitAck(int Dest, uint32_t AckSeq);
+  void retireAcks(int Src, uint32_t TheirAck);
+  void startNextDelivery();
+  void finishDelivery();
+
+  SmRuntime Rt;
+  bool FastPaths;
+  sim::NicEnv *Env = nullptr;
+  sim::SimTime Repoll = 0;
+
+  // ---- Global variables (the paper's reqSM1/reqSM2/pAddr/sendData). ----
+  static constexpr unsigned WSIZE = 8;
+  static constexpr unsigned NNODES = 4;
+  static constexpr uint32_t MTU = 4096;
+  static constexpr uint32_t PAGESIZE = 4096;
+  static constexpr unsigned PTSIZE = 64;
+  static constexpr uint32_t SMALLMSG = 32;
+  static constexpr uint64_t RTO = 4;
+
+  uint64_t PageTable[PTSIZE] = {};
+
+  // Current send request.
+  int CurDest = 0;
+  uint64_t CurVAddr = 0;
+  uint32_t CurSize = 0;
+  uint64_t CurToken = 0;
+  uint32_t Remaining = 0;
+  uint32_t Off = 0;
+  uint32_t Chunk = 0;
+  bool FastPathActive = false;
+
+  // Chunk handed from the send machine to the window machine through
+  // globals (the paper's reqSM2 idiom); also parks here when the window
+  // is full.
+  bool HavePendingChunk = false;
+  int PendDest = 0;
+  int PendBuf = -1;
+  uint32_t PendSize = 0;
+  uint32_t PendMsg = 0;
+  uint64_t PendToken = 0;
+
+  // Transmit window.
+  struct Slot {
+    bool Used = false;
+    uint32_t Seq = 0;
+    int Dest = 0;
+    int Buf = -1;
+    uint32_t Size = 0;
+    uint32_t MsgBytes = 0;
+    uint64_t Token = 0;
+    uint64_t Tick = 0;
+  };
+  Slot Window[WSIZE];
+  uint32_t NextSeq[NNODES] = {};
+  uint32_t PbAck[NNODES] = {};
+  unsigned Inflight = 0;
+  uint64_t NowTicks = 0;
+  std::deque<unsigned> PendingTx;      ///< Slots waiting for the send DMA.
+  std::deque<std::pair<int, uint32_t>> PendingAcks;
+
+  // Receive path.
+  uint32_t ExpSeq[NNODES] = {};
+  uint32_t Got[NNODES] = {};
+  struct Delivery {
+    int Src;
+    uint32_t Size;
+    uint32_t MsgBytes;
+    uint64_t Token;
+  };
+  std::deque<Delivery> PendingDeliver;
+  Delivery CurDeliver{};
+};
+
+/// Lines-of-code accounting for the comparison table: the baseline
+/// implementation's source files.
+unsigned getOrigFirmwareLines();
+
+} // namespace vmmc
+} // namespace esp
+
+#endif // ESP_VMMC_ORIGFIRMWARE_H

@@ -1,0 +1,231 @@
+//===--- Workloads.cpp - VMMC microbenchmark workloads ----------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vmmc/Workloads.h"
+
+#include "vmmc/EspFirmware.h"
+#include "vmmc/OrigFirmware.h"
+
+#include <cassert>
+
+using namespace esp;
+using namespace esp::vmmc;
+using namespace esp::sim;
+
+const char *esp::vmmc::firmwareKindName(FirmwareKind Kind) {
+  switch (Kind) {
+  case FirmwareKind::Esp:
+    return "vmmcESP";
+  case FirmwareKind::Orig:
+    return "vmmcOrig";
+  case FirmwareKind::OrigNoFastPaths:
+    return "vmmcOrigNoFastPaths";
+  }
+  return "?";
+}
+
+std::unique_ptr<Firmware> esp::vmmc::makeFirmware(FirmwareKind Kind) {
+  switch (Kind) {
+  case FirmwareKind::Esp:
+    return std::make_unique<EspFirmware>();
+  case FirmwareKind::Orig:
+    return std::make_unique<OrigFirmware>(/*FastPaths=*/true);
+  case FirmwareKind::OrigNoFastPaths:
+    return std::make_unique<OrigFirmware>(/*FastPaths=*/false);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Simulator> esp::vmmc::makeTwoNodeSystem(FirmwareKind Kind) {
+  auto Sim = std::make_unique<Simulator>(2);
+  for (unsigned Node = 0; Node != 2; ++Node) {
+    Sim->nic(Node).setFirmware(makeFirmware(Kind));
+    Sim->nic(Node).startTimer();
+  }
+  return Sim;
+}
+
+static HostReq makeSend(int Dest, uint32_t Bytes, uint64_t Token) {
+  HostReq Req;
+  Req.K = HostReq::Kind::Send;
+  Req.Dest = Dest;
+  Req.VAddr = 0x10000;
+  Req.Size = Bytes;
+  Req.Token = Token;
+  return Req;
+}
+
+WorkloadResult esp::vmmc::runPingpong(FirmwareKind Kind, uint32_t MsgBytes,
+                                      unsigned Iterations) {
+  return runPingpongWith([Kind] { return makeFirmware(Kind); }, MsgBytes,
+                         Iterations);
+}
+
+WorkloadResult esp::vmmc::runPingpongWith(const FirmwareFactory &Factory,
+                                          uint32_t MsgBytes,
+                                          unsigned Iterations) {
+  auto Sim = std::make_unique<Simulator>(2);
+  for (unsigned Node = 0; Node != 2; ++Node) {
+    Sim->nic(Node).setFirmware(Factory());
+    Sim->nic(Node).startTimer();
+  }
+  unsigned Total = Iterations + 4; // Warmup round trips.
+  uint64_t NextToken = 1;
+  unsigned Hops = 0;
+  SimTime MeasureStart = 0;
+
+  Sim->nic(1).OnRecv = [&](const RecvNotification &) {
+    ++Hops;
+    Sim->nic(1).postRequest(makeSend(0, MsgBytes, NextToken++));
+  };
+  Sim->nic(0).OnRecv = [&](const RecvNotification &) {
+    ++Hops;
+    if (Hops / 2 < Total)
+      Sim->nic(0).postRequest(makeSend(1, MsgBytes, NextToken++));
+  };
+
+  // Warmup phase.
+  Sim->nic(0).postRequest(makeSend(1, MsgBytes, NextToken++));
+  bool WarmupDone =
+      Sim->runUntil([&] { return Hops >= 8; }, 10'000'000'000ULL);
+  MeasureStart = Sim->now();
+  unsigned HopsAtStart = Hops;
+  bool Done = WarmupDone &&
+              Sim->runUntil([&] { return Hops >= 2 * Total; },
+                            100'000'000'000ULL);
+
+  WorkloadResult Result;
+  Result.Completed = Done;
+  unsigned MeasuredHops = Hops - HopsAtStart;
+  if (MeasuredHops > 0)
+    Result.OneWayLatencyUs =
+        (Sim->now() - MeasureStart) / 1000.0 / MeasuredHops;
+  Result.MessagesDelivered = Hops;
+  Result.PacketsSent =
+      Sim->nic(0).PacketsSent + Sim->nic(1).PacketsSent;
+  Result.FirmwareCyclesNode0 = Sim->nic(0).TotalCycles;
+  return Result;
+}
+
+WorkloadResult esp::vmmc::runOneWay(FirmwareKind Kind, uint32_t MsgBytes,
+                                    unsigned NumMessages, unsigned Depth) {
+  std::unique_ptr<Simulator> Sim = makeTwoNodeSystem(Kind);
+  uint64_t NextToken = 1;
+  unsigned Posted = 0;
+  unsigned Received = 0;
+  SimTime FirstByte = 0;
+
+  auto postMore = [&] {
+    while (Posted - Received < Depth && Posted < NumMessages) {
+      Sim->nic(0).postRequest(makeSend(1, MsgBytes, NextToken++));
+      ++Posted;
+    }
+  };
+  Sim->nic(1).OnRecv = [&](const RecvNotification &Note) {
+    if (Received == 0)
+      FirstByte = Note.At;
+    ++Received;
+    postMore();
+  };
+  postMore();
+  bool Done = Sim->runUntil([&] { return Received >= NumMessages; },
+                            1'000'000'000'000ULL);
+
+  WorkloadResult Result;
+  Result.Completed = Done;
+  Result.MessagesDelivered = Received;
+  if (Done && Received > 1) {
+    double Seconds = (Sim->now() - 0) / 1e9;
+    Result.BandwidthMBs =
+        (static_cast<double>(Received) * MsgBytes) / 1e6 / Seconds;
+  }
+  Result.PacketsSent =
+      Sim->nic(0).PacketsSent + Sim->nic(1).PacketsSent;
+  Result.FirmwareCyclesNode0 = Sim->nic(0).TotalCycles;
+  return Result;
+}
+
+WorkloadResult esp::vmmc::runBidirectional(FirmwareKind Kind,
+                                           uint32_t MsgBytes,
+                                           unsigned NumMessages,
+                                           unsigned Depth) {
+  std::unique_ptr<Simulator> Sim = makeTwoNodeSystem(Kind);
+  uint64_t NextToken = 1;
+  unsigned Posted[2] = {0, 0};
+  unsigned Received[2] = {0, 0};
+
+  auto postMore = [&](int Node) {
+    int Peer = 1 - Node;
+    while (Posted[Node] - Received[Peer] < Depth &&
+           Posted[Node] < NumMessages) {
+      Sim->nic(Node).postRequest(makeSend(Peer, MsgBytes, NextToken++));
+      ++Posted[Node];
+    }
+  };
+  for (int Node = 0; Node != 2; ++Node) {
+    Sim->nic(Node).OnRecv = [&, Node](const RecvNotification &) {
+      ++Received[Node];
+      postMore(1 - Node);
+    };
+  }
+  postMore(0);
+  postMore(1);
+  bool Done = Sim->runUntil(
+      [&] {
+        return Received[0] >= NumMessages && Received[1] >= NumMessages;
+      },
+      1'000'000'000'000ULL);
+
+  WorkloadResult Result;
+  Result.Completed = Done;
+  Result.MessagesDelivered = Received[0] + Received[1];
+  if (Done) {
+    double Seconds = Sim->now() / 1e9;
+    Result.BandwidthMBs = (static_cast<double>(Received[0] + Received[1]) *
+                           MsgBytes) /
+                          1e6 / Seconds;
+  }
+  Result.PacketsSent =
+      Sim->nic(0).PacketsSent + Sim->nic(1).PacketsSent;
+  Result.FirmwareCyclesNode0 = Sim->nic(0).TotalCycles;
+  return Result;
+}
+
+WorkloadResult esp::vmmc::runLossyPingpong(FirmwareKind Kind,
+                                           uint32_t MsgBytes,
+                                           unsigned Iterations,
+                                           unsigned DropEveryN) {
+  std::unique_ptr<Simulator> Sim = makeTwoNodeSystem(Kind);
+  uint64_t NextToken = 1;
+  unsigned Hops = 0;
+  uint64_t DataPackets = 0;
+  Sim->DropFn = [&](const Packet &P) {
+    if (P.K != Packet::Kind::Data)
+      return false;
+    ++DataPackets;
+    return DataPackets % DropEveryN == 0;
+  };
+
+  Sim->nic(1).OnRecv = [&](const RecvNotification &) {
+    ++Hops;
+    Sim->nic(1).postRequest(makeSend(0, MsgBytes, NextToken++));
+  };
+  Sim->nic(0).OnRecv = [&](const RecvNotification &) {
+    ++Hops;
+    if (Hops / 2 < Iterations)
+      Sim->nic(0).postRequest(makeSend(1, MsgBytes, NextToken++));
+  };
+  Sim->nic(0).postRequest(makeSend(1, MsgBytes, NextToken++));
+  bool Done = Sim->runUntil([&] { return Hops >= 2 * Iterations; },
+                            1'000'000'000'000ULL);
+
+  WorkloadResult Result;
+  Result.Completed = Done;
+  Result.MessagesDelivered = Hops;
+  Result.PacketsSent =
+      Sim->nic(0).PacketsSent + Sim->nic(1).PacketsSent;
+  return Result;
+}

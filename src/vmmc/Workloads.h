@@ -1,0 +1,78 @@
+//===--- Workloads.h - VMMC microbenchmark workloads ------------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three microbenchmarks of Figure 5 (§6.2): pingpong latency,
+/// one-way bandwidth, and bidirectional bandwidth between two simulated
+/// machines, each runnable over vmmcESP, vmmcOrig, and
+/// vmmcOrigNoFastPaths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_VMMC_WORKLOADS_H
+#define ESP_VMMC_WORKLOADS_H
+
+#include "sim/Nic.h"
+
+#include <memory>
+#include <string>
+
+namespace esp {
+namespace vmmc {
+
+enum class FirmwareKind { Esp, Orig, OrigNoFastPaths };
+
+const char *firmwareKindName(FirmwareKind Kind);
+
+/// Creates a firmware instance of the given kind.
+std::unique_ptr<sim::Firmware> makeFirmware(FirmwareKind Kind);
+
+/// Builds a 2-node simulator with the same firmware kind on both NICs
+/// and watchdog timers running.
+std::unique_ptr<sim::Simulator> makeTwoNodeSystem(FirmwareKind Kind);
+
+struct WorkloadResult {
+  double OneWayLatencyUs = 0; ///< Pingpong: per-one-way latency.
+  double BandwidthMBs = 0;    ///< Bandwidth tests: payload MB/s.
+  uint64_t MessagesDelivered = 0;
+  uint64_t PacketsSent = 0;
+  uint64_t FirmwareCyclesNode0 = 0;
+  bool Completed = false;
+};
+
+/// Factory used by ablations to build custom firmware (e.g. the ESP
+/// firmware with compiler optimizations disabled).
+using FirmwareFactory = std::function<std::unique_ptr<sim::Firmware>()>;
+
+/// Figure 5(a): pingpong latency for \p MsgBytes, averaged over
+/// \p Iterations round trips (plus warmup).
+WorkloadResult runPingpong(FirmwareKind Kind, uint32_t MsgBytes,
+                           unsigned Iterations = 32);
+
+/// Pingpong with a custom firmware factory (one instance per NIC).
+WorkloadResult runPingpongWith(const FirmwareFactory &Factory,
+                               uint32_t MsgBytes, unsigned Iterations = 32);
+
+/// Figure 5(b): one-way bandwidth, sending \p NumMessages of
+/// \p MsgBytes with up to \p Depth outstanding.
+WorkloadResult runOneWay(FirmwareKind Kind, uint32_t MsgBytes,
+                         unsigned NumMessages = 64, unsigned Depth = 8);
+
+/// Figure 5(c): bidirectional bandwidth (both nodes stream
+/// simultaneously); reports combined payload MB/s.
+WorkloadResult runBidirectional(FirmwareKind Kind, uint32_t MsgBytes,
+                                unsigned NumMessages = 64,
+                                unsigned Depth = 8);
+
+/// Correctness helper: run a pingpong under packet loss (drops every
+/// \p DropEveryN-th data packet) to exercise retransmission.
+WorkloadResult runLossyPingpong(FirmwareKind Kind, uint32_t MsgBytes,
+                                unsigned Iterations, unsigned DropEveryN);
+
+} // namespace vmmc
+} // namespace esp
+
+#endif // ESP_VMMC_WORKLOADS_H

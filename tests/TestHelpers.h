@@ -1,0 +1,81 @@
+//===--- TestHelpers.h - Shared test fixtures -------------------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the test suite: compile ESP source through the whole
+/// frontend and lowering pipeline, with assertions on diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_TESTS_TESTHELPERS_H
+#define ESP_TESTS_TESTHELPERS_H
+
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "ir/IR.h"
+#include "ir/Passes.h"
+#include "runtime/Machine.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace esp {
+namespace test {
+
+/// Owns the full compilation pipeline state for one ESP source.
+struct Compilation {
+  SourceManager SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<Program> Prog;
+  ModuleIR Module;
+
+  Compilation() { Diags = std::make_unique<DiagnosticEngine>(SM); }
+};
+
+/// Parses and checks \p Source; expects success. Lowered IR is in
+/// Module (unoptimized unless \p Options given).
+inline std::unique_ptr<Compilation>
+compile(const std::string &Source,
+        const OptOptions *Options = nullptr) {
+  auto C = std::make_unique<Compilation>();
+  C->Prog = Parser::parse(C->SM, *C->Diags, "test.esp", Source);
+  if (!C->Prog) {
+    ADD_FAILURE() << "parse failed:\n" << C->Diags->renderAll();
+    return nullptr;
+  }
+  if (!checkProgram(*C->Prog, *C->Diags)) {
+    ADD_FAILURE() << "sema failed:\n" << C->Diags->renderAll();
+    return nullptr;
+  }
+  C->Module = lowerProgram(*C->Prog);
+  if (Options)
+    optimizeModule(C->Module, *Options);
+  return C;
+}
+
+/// Parses and checks \p Source; expects a semantic or parse error whose
+/// message contains \p ExpectedFragment.
+inline void expectDiagnostic(const std::string &Source,
+                             const std::string &ExpectedFragment) {
+  Compilation C;
+  C.Prog = Parser::parse(C.SM, *C.Diags, "test.esp", Source);
+  if (C.Prog)
+    checkProgram(*C.Prog, *C.Diags);
+  EXPECT_TRUE(C.Diags->getNumErrors() > 0 || C.Diags->getNumWarnings() > 0)
+      << "expected a diagnostic containing '" << ExpectedFragment << "'";
+  EXPECT_TRUE(C.Diags->containsMessage(ExpectedFragment))
+      << "diagnostics were:\n"
+      << C.Diags->renderAll();
+}
+
+} // namespace test
+} // namespace esp
+
+#endif // ESP_TESTS_TESTHELPERS_H

@@ -1,0 +1,162 @@
+//===--- test_heap.cpp - Refcounted heap unit tests ----------------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+#include <gtest/gtest.h>
+
+using namespace esp;
+
+namespace {
+
+class HeapTest : public ::testing::Test {
+protected:
+  TypeContext Ctx;
+  const Type *arrayType() { return Ctx.getArrayType(Ctx.getIntType(), false); }
+  const Type *recordType() {
+    return Ctx.getRecordType({{"data", arrayType()}}, false);
+  }
+};
+
+TEST_F(HeapTest, AllocateSetsRefcountToOne) {
+  Heap H;
+  std::optional<Value> V = H.allocate(arrayType(), 4);
+  ASSERT_TRUE(V);
+  const HeapObject *Obj = H.deref(*V);
+  ASSERT_TRUE(Obj);
+  EXPECT_EQ(Obj->RefCount, 1u);
+  EXPECT_EQ(Obj->Elems.size(), 4u);
+  EXPECT_EQ(H.getLiveCount(), 1u);
+}
+
+TEST_F(HeapTest, LinkUnlinkRoundTrip) {
+  Heap H;
+  Value V = *H.allocate(arrayType(), 1);
+  EXPECT_EQ(H.link(V), HeapStatus::OK);
+  EXPECT_EQ(H.deref(V)->RefCount, 2u);
+  EXPECT_EQ(H.unlink(V), HeapStatus::OK);
+  EXPECT_TRUE(H.isLive(V));
+  EXPECT_EQ(H.unlink(V), HeapStatus::OK);
+  EXPECT_FALSE(H.isLive(V));
+  EXPECT_EQ(H.getLiveCount(), 0u);
+}
+
+TEST_F(HeapTest, OperationsOnDeadObjectFail) {
+  Heap H;
+  Value V = *H.allocate(arrayType(), 1);
+  EXPECT_EQ(H.unlink(V), HeapStatus::OK);
+  EXPECT_EQ(H.link(V), HeapStatus::DeadObject);
+  EXPECT_EQ(H.unlink(V), HeapStatus::DeadObject);
+  EXPECT_EQ(H.deref(V), nullptr);
+}
+
+TEST_F(HeapTest, GenerationsDetectUseAfterReuse) {
+  // Freed slots are recycled (the paper reclaims objectIds); stale
+  // references must still be detected.
+  Heap H(/*MaxObjects=*/4, /*ReuseIds=*/true);
+  Value Old = *H.allocate(arrayType(), 1);
+  EXPECT_EQ(H.unlink(Old), HeapStatus::OK);
+  Value Fresh = *H.allocate(arrayType(), 1);
+  EXPECT_EQ(Fresh.Ref, Old.Ref); // Slot was reused...
+  EXPECT_EQ(H.deref(Old), nullptr); // ...but the stale ref is dead.
+  EXPECT_NE(H.deref(Fresh), nullptr);
+}
+
+TEST_F(HeapTest, BoundedTableExhausts) {
+  Heap H(/*MaxObjects=*/3, /*ReuseIds=*/true);
+  Value A = *H.allocate(arrayType(), 1);
+  Value B = *H.allocate(arrayType(), 1);
+  Value C = *H.allocate(arrayType(), 1);
+  (void)A;
+  (void)B;
+  EXPECT_FALSE(H.allocate(arrayType(), 1)); // Leak indicator (§5.2).
+  // Freeing one slot makes allocation possible again.
+  EXPECT_EQ(H.unlink(C), HeapStatus::OK);
+  EXPECT_TRUE(H.allocate(arrayType(), 1));
+}
+
+TEST_F(HeapTest, RecursiveUnlinkFreesChildren) {
+  Heap H;
+  Value Child = *H.allocate(arrayType(), 2);
+  Value Parent = *H.allocate(recordType(), 1);
+  H.deref(Parent)->Elems[0] = Child; // Construction edge owns the child.
+  EXPECT_EQ(H.unlink(Parent), HeapStatus::OK);
+  EXPECT_FALSE(H.isLive(Parent));
+  EXPECT_FALSE(H.isLive(Child));
+  EXPECT_EQ(H.getLiveCount(), 0u);
+}
+
+TEST_F(HeapTest, SharedChildSurvivesOneParent) {
+  Heap H;
+  Value Child = *H.allocate(arrayType(), 2);
+  EXPECT_EQ(H.link(Child), HeapStatus::OK); // Second reference.
+  Value P1 = *H.allocate(recordType(), 1);
+  Value P2 = *H.allocate(recordType(), 1);
+  H.deref(P1)->Elems[0] = Child;
+  H.deref(P2)->Elems[0] = Child;
+  EXPECT_EQ(H.unlink(P1), HeapStatus::OK);
+  EXPECT_TRUE(H.isLive(Child));
+  EXPECT_EQ(H.unlink(P2), HeapStatus::OK);
+  EXPECT_FALSE(H.isLive(Child));
+}
+
+TEST_F(HeapTest, DeepChainUnlinkIsIterative) {
+  // A long parent chain must not blow the native stack.
+  Heap H;
+  Value Leaf = *H.allocate(arrayType(), 1);
+  Value Current = Leaf;
+  for (int I = 0; I != 100000; ++I) {
+    Value Parent = *H.allocate(recordType(), 1);
+    H.deref(Parent)->Elems[0] = Current;
+    Current = Parent;
+  }
+  EXPECT_EQ(H.unlink(Current), HeapStatus::OK);
+  EXPECT_EQ(H.getLiveCount(), 0u);
+}
+
+TEST_F(HeapTest, StatisticsTrackHighWater) {
+  Heap H;
+  Value A = *H.allocate(arrayType(), 1);
+  Value B = *H.allocate(arrayType(), 1);
+  EXPECT_EQ(H.unlink(A), HeapStatus::OK);
+  Value C = *H.allocate(arrayType(), 1);
+  (void)B;
+  (void)C;
+  EXPECT_EQ(H.getTotalAllocations(), 3u);
+  EXPECT_EQ(H.getHighWater(), 2u);
+  EXPECT_EQ(H.getLiveCount(), 2u);
+}
+
+TEST_F(HeapTest, ScalarValuesNeverDeref) {
+  Heap H;
+  EXPECT_EQ(H.deref(Value::makeInt(7)), nullptr);
+  EXPECT_EQ(H.deref(Value::makeBool(true)), nullptr);
+  EXPECT_EQ(H.deref(Value()), nullptr);
+}
+
+TEST_F(HeapTest, ValueEquality) {
+  Heap H;
+  EXPECT_EQ(Value::makeInt(3), Value::makeInt(3));
+  EXPECT_FALSE(Value::makeInt(3) == Value::makeInt(4));
+  EXPECT_FALSE(Value::makeInt(1) == Value::makeBool(true));
+  Value A = *H.allocate(arrayType(), 1);
+  Value B = *H.allocate(arrayType(), 1);
+  EXPECT_EQ(A, A);
+  EXPECT_FALSE(A == B);
+}
+
+TEST_F(HeapTest, CopyableForSnapshots) {
+  Heap H;
+  Value V = *H.allocate(arrayType(), 1);
+  H.deref(V)->Elems[0] = Value::makeInt(42);
+  Heap Copy = H; // The model checker snapshots machines this way.
+  EXPECT_EQ(H.unlink(V), HeapStatus::OK);
+  EXPECT_FALSE(H.isLive(V));
+  EXPECT_TRUE(Copy.isLive(V));
+  EXPECT_EQ(Copy.deref(V)->Elems[0].Scalar, 42);
+}
+
+} // namespace

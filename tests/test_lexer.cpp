@@ -1,0 +1,141 @@
+//===--- test_lexer.cpp - Lexer unit tests ----------------------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <gtest/gtest.h>
+
+using namespace esp;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source, unsigned *NumErrors = nullptr) {
+  static SourceManager SM;
+  static DiagnosticEngine Diags(SM);
+  Diags.clear();
+  uint32_t FileId = SM.addBuffer("lex.esp", Source);
+  Lexer L(SM, FileId, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  if (NumErrors)
+    *NumErrors = Diags.getNumErrors();
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(const std::string &Source) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : lex(Source))
+    Out.push_back(T.Kind);
+  EXPECT_FALSE(Out.empty());
+  Out.pop_back(); // Drop EOF.
+  return Out;
+}
+
+TEST(Lexer, EmptyInputYieldsEOF) {
+  std::vector<Token> Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::EndOfFile));
+}
+
+TEST(Lexer, Keywords) {
+  auto K = kinds("type record union array of int bool channel interface "
+                 "process const while if else alt case in out link unlink "
+                 "cast assert true false");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwType,    TokenKind::KwRecord,    TokenKind::KwUnion,
+      TokenKind::KwArray,   TokenKind::KwOf,        TokenKind::KwInt,
+      TokenKind::KwBool,    TokenKind::KwChannel,   TokenKind::KwInterface,
+      TokenKind::KwProcess, TokenKind::KwConst,     TokenKind::KwWhile,
+      TokenKind::KwIf,      TokenKind::KwElse,      TokenKind::KwAlt,
+      TokenKind::KwCase,    TokenKind::KwIn,        TokenKind::KwOut,
+      TokenKind::KwLink,    TokenKind::KwUnlink,    TokenKind::KwCast,
+      TokenKind::KwAssert,  TokenKind::KwTrue,      TokenKind::KwFalse};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, IdentifiersAreNotKeywords) {
+  auto K = kinds("types inx outy process1 _of");
+  for (TokenKind Kind : K)
+    EXPECT_EQ(Kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, IntLiterals) {
+  std::vector<Token> Tokens = lex("0 42 1024 0x1F");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 1024);
+  EXPECT_EQ(Tokens[3].IntValue, 31);
+}
+
+TEST(Lexer, EspOperators) {
+  auto K = kinds("|> -> $ # @ ... . || |>");
+  std::vector<TokenKind> Expected = {
+      TokenKind::PipeGreater, TokenKind::Arrow,    TokenKind::Dollar,
+      TokenKind::Hash,        TokenKind::At,       TokenKind::Ellipsis,
+      TokenKind::Dot,         TokenKind::PipePipe, TokenKind::PipeGreater};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, ComparisonAndArithmetic) {
+  auto K = kinds("= == != < <= > >= + - * / % ! &&");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Assign,  TokenKind::EqualEqual,   TokenKind::NotEqual,
+      TokenKind::Less,    TokenKind::LessEqual,    TokenKind::Greater,
+      TokenKind::GreaterEqual, TokenKind::Plus,    TokenKind::Minus,
+      TokenKind::Star,    TokenKind::Slash,        TokenKind::Percent,
+      TokenKind::Bang,    TokenKind::AmpAmp};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, LineCommentsAreSkipped) {
+  auto K = kinds("in // everything here is ignored |> $\nout");
+  std::vector<TokenKind> Expected = {TokenKind::KwIn, TokenKind::KwOut};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, BlockCommentsAreSkipped) {
+  auto K = kinds("in /* multi\nline\ncomment */ out");
+  std::vector<TokenKind> Expected = {TokenKind::KwIn, TokenKind::KwOut};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsError) {
+  unsigned NumErrors = 0;
+  lex("in /* never closed", &NumErrors);
+  EXPECT_EQ(NumErrors, 1u);
+}
+
+TEST(Lexer, UnexpectedCharacterIsError) {
+  unsigned NumErrors = 0;
+  lex("a ? b", &NumErrors);
+  EXPECT_EQ(NumErrors, 1u);
+}
+
+TEST(Lexer, MinusVersusArrow) {
+  auto K = kinds("a - b -> c - > d");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::Minus,   TokenKind::Identifier,
+      TokenKind::Arrow,      TokenKind::Identifier, TokenKind::Minus,
+      TokenKind::Greater,    TokenKind::Identifier};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, LocationsDecodeToLinesAndColumns) {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  uint32_t FileId = SM.addBuffer("loc.esp", "process p {\n  $x = 1;\n}\n");
+  Lexer L(SM, FileId, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  // Token 3 is '$' at line 2 column 3.
+  DecodedLoc DL = SM.decode(Tokens[3].Loc);
+  EXPECT_EQ(DL.Line, 2u);
+  EXPECT_EQ(DL.Column, 3u);
+  EXPECT_EQ(SM.getLineText(Tokens[3].Loc), "  $x = 1;");
+}
+
+} // namespace

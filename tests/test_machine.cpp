@@ -1,0 +1,411 @@
+//===--- test_machine.cpp - Interpreter and scheduler tests -----------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+using namespace esp;
+using namespace esp::test;
+
+namespace {
+
+/// A three-stage pipeline exercising rendezvous, while loops, and
+/// assertions (the paper's add5 example, §4.3, made self-checking).
+const char *PipelineSource = R"(
+channel c1: int
+channel c2: int
+process producer {
+  $i = 0;
+  while (i < 5) { out(c1, i); i = i + 1; }
+}
+process add5 {
+  $n = 0;
+  while (n < 5) { in(c1, $x); out(c2, x + 5); n = n + 1; }
+}
+process consumer {
+  $n = 0;
+  while (n < 5) { in(c2, $y); assert(y == n + 5); n = n + 1; }
+}
+)";
+
+TEST(Machine, PipelineRunsToCompletion) {
+  auto C = compile(PipelineSource);
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  ASSERT_FALSE(M.error()) << M.error().Message;
+  Machine::StepResult R = M.run(10000);
+  EXPECT_EQ(R, Machine::StepResult::Halted) << M.error().Message;
+  EXPECT_TRUE(M.allDone());
+  EXPECT_GE(M.stats().Rendezvous, 10u); // 5 messages on each channel.
+}
+
+TEST(Machine, AssertionFailureIsReported) {
+  auto C = compile(R"(
+channel c: int
+process a { out(c, 3); }
+process b { in(c, $x); assert(x == 4); }
+)");
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  M.run(1000);
+  EXPECT_EQ(M.error().Kind, RuntimeErrorKind::AssertFailed);
+}
+
+TEST(Machine, PatternDispatchRoutesToCorrectProcess) {
+  // The paper's core dispatch idea: two processes receive from one
+  // channel, selected by the union arm (§4.2).
+  auto C = compile(R"(
+type sendT = record of { dest: int, size: int }
+type updateT = record of { vAddr: int, pAddr: int }
+type userT = union of { send: sendT, update: updateT }
+channel reqC: userT
+channel sendDoneC: int
+channel updateDoneC: int
+process sender {
+  in(reqC, { send |> { $dest, $size } });
+  out(sendDoneC, dest + size);
+}
+process updater {
+  in(reqC, { update |> { $vAddr, $pAddr } });
+  out(updateDoneC, vAddr * 1000 + pAddr);
+}
+process driver {
+  out(reqC, { update |> { 7, 99 } });
+  out(reqC, { send |> { 3, 64 } });
+  in(sendDoneC, $a);
+  assert(a == 67);
+  in(updateDoneC, $b);
+  assert(b == 7099);
+}
+)");
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  Machine::StepResult R = M.run(10000);
+  EXPECT_EQ(R, Machine::StepResult::Halted) << M.error().Message;
+}
+
+TEST(Machine, ReplyDispatchByProcessId) {
+  // `@` dispatch: two clients use one server; replies routed by id.
+  auto C = compile(R"(
+channel reqC: record of { ret: int, v: int }
+channel replyC: record of { ret: int, v: int }
+process clientA {
+  out(reqC, { @, 10 });
+  in(replyC, { @, $r });
+  assert(r == 20);
+}
+process clientB {
+  out(reqC, { @, 100 });
+  in(replyC, { @, $r });
+  assert(r == 200);
+}
+process server {
+  $n = 0;
+  while (n < 2) {
+    in(reqC, { $who, $v });
+    out(replyC, { who, v * 2 });
+    n = n + 1;
+  }
+}
+)");
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  Machine::StepResult R = M.run(10000);
+  EXPECT_EQ(R, Machine::StepResult::Halted) << M.error().Message;
+}
+
+TEST(Machine, FifoQueueWithGuards) {
+  // The paper's guarded-alt FIFO queue (§4.2).
+  auto C = compile(R"(
+const SIZE = 4;
+channel chan1: int
+channel chan2: int
+process fifo {
+  $q: #array of int = #{ SIZE -> 0 };
+  $hd = 0; $tl = 0; $cnt = 0;
+  while (true) {
+    alt {
+      case( cnt < SIZE, in( chan1, $v)) { q[tl] = v; tl = (tl + 1) % SIZE; cnt = cnt + 1; }
+      case( cnt > 0, out( chan2, q[hd])) { hd = (hd + 1) % SIZE; cnt = cnt - 1; }
+    }
+  }
+}
+process producer {
+  $i = 0;
+  while (i < 20) { out(chan1, i * 3); i = i + 1; }
+}
+process consumer {
+  $i = 0;
+  while (i < 20) { in(chan2, $v); assert(v == i * 3); i = i + 1; }
+}
+)");
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  // The fifo process loops forever; producer and consumer finish. The
+  // machine becomes quiescent with fifo blocked on an empty queue.
+  Machine::StepResult R = M.run(100000);
+  EXPECT_EQ(R, Machine::StepResult::Quiescent) << M.error().Message;
+  EXPECT_FALSE(M.error());
+}
+
+TEST(Machine, MutableArrayUpdatesVisibleThroughAlias) {
+  auto C = compile(R"(
+channel done: int
+process p {
+  $a1: #array of int = #{ 8 -> 0 };
+  $a2 = a1;
+  a2[3] = 7;
+  assert(a1[3] == 7);
+  out(done, 1);
+}
+process q { in(done, $x); }
+)");
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  EXPECT_EQ(M.run(1000), Machine::StepResult::Halted) << M.error().Message;
+}
+
+TEST(Machine, UseAfterFreeDetected) {
+  auto C = compile(R"(
+channel done: int
+process p {
+  $a: #array of int = #{ 4 -> 0 };
+  unlink(a);
+  a[0] = 1;
+  out(done, 1);
+}
+process q { in(done, $x); }
+)");
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  M.run(1000);
+  EXPECT_EQ(M.error().Kind, RuntimeErrorKind::UseAfterFree);
+}
+
+TEST(Machine, DoubleUnlinkDetected) {
+  auto C = compile(R"(
+channel done: int
+process p {
+  $a: #array of int = #{ 4 -> 0 };
+  unlink(a);
+  unlink(a);
+  out(done, 1);
+}
+process q { in(done, $x); }
+)");
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  M.run(1000);
+  EXPECT_EQ(M.error().Kind, RuntimeErrorKind::UseAfterFree);
+}
+
+TEST(Machine, LinkKeepsObjectAlive) {
+  auto C = compile(R"(
+channel done: int
+process p {
+  $a: #array of int = #{ 4 -> 5 };
+  link(a);
+  unlink(a);
+  assert(a[2] == 5);
+  unlink(a);
+  out(done, 1);
+}
+process q { in(done, $x); }
+)");
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  EXPECT_EQ(M.run(1000), Machine::StepResult::Halted) << M.error().Message;
+}
+
+TEST(Machine, SendSharesThenExplicitUnlinkFrees) {
+  // The paper's SM1 idiom: send a record containing data, then unlink the
+  // local reference (Appendix B).
+  auto C = compile(R"(
+type dataT = array of int
+type msgT = record of { dest: int, data: dataT }
+channel c: msgT
+channel done: int
+process sender {
+  $data: dataT = { 16 -> 42 };
+  out(c, { 9, data });
+  unlink(data);
+  out(done, 1);
+}
+process receiver {
+  in(c, { $dest, $d });
+  assert(dest == 9);
+  assert(d[15] == 42);
+  unlink(d);
+}
+process j { in(done, $x); }
+)");
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  EXPECT_EQ(M.run(10000), Machine::StepResult::Halted) << M.error().Message;
+  // Everything should be freed: the record shell and the array.
+  EXPECT_EQ(M.heap().getLiveCount(), 0u);
+}
+
+TEST(Machine, DeepCopyTransfersBehaveIdentically) {
+  // Verification mode (deep copies) must produce the same observable
+  // behaviour as the refcount-sharing execution mode.
+  auto C = compile(R"(
+type dataT = array of int
+type msgT = record of { dest: int, data: dataT }
+channel c: msgT
+channel done: int
+process sender {
+  $data: dataT = { 16 -> 42 };
+  out(c, { 9, data });
+  unlink(data);
+  out(done, 1);
+}
+process receiver {
+  in(c, { $dest, $d });
+  assert(dest == 9);
+  assert(d[15] == 42);
+  unlink(d);
+}
+process j { in(done, $x); }
+)");
+  ASSERT_TRUE(C);
+  MachineOptions Options;
+  Options.DeepCopyTransfers = true;
+  Machine M(C->Module, Options);
+  M.start();
+  EXPECT_EQ(M.run(10000), Machine::StepResult::Halted) << M.error().Message;
+  EXPECT_EQ(M.heap().getLiveCount(), 0u);
+}
+
+TEST(Machine, BoundedHeapExhaustionDetectsLeak) {
+  // Leaking in a loop exhausts a bounded object table (§5.2's leak
+  // detection through objectId exhaustion).
+  auto C = compile(R"(
+channel done: int
+process leaky {
+  $i = 0;
+  while (i < 100) {
+    $a: #array of int = #{ 4 -> 0 };
+    i = i + 1;
+  }
+  out(done, 1);
+}
+process j { in(done, $x); }
+)");
+  ASSERT_TRUE(C);
+  MachineOptions Options;
+  Options.MaxObjects = 16;
+  Machine M(C->Module, Options);
+  M.start();
+  M.run(10000);
+  EXPECT_EQ(M.error().Kind, RuntimeErrorKind::OutOfObjects);
+}
+
+TEST(Machine, CastProducesIndependentCopy) {
+  auto C = compile(R"(
+channel done: int
+process p {
+  $m: #array of int = #{ 4 -> 1 };
+  m[0] = 10;
+  $frozen = cast(m);
+  m[0] = 99;
+  assert(frozen[0] == 10);
+  unlink(m);
+  unlink(frozen);
+  out(done, 1);
+}
+process q { in(done, $x); }
+)");
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  EXPECT_EQ(M.run(1000), Machine::StepResult::Halted) << M.error().Message;
+  EXPECT_EQ(M.heap().getLiveCount(), 0u);
+}
+
+TEST(Machine, DivisionByZeroDetected) {
+  auto C = compile(R"(
+channel c: int
+process p { $x = 0; out(c, 10 / x); }
+process q { in(c, $y); }
+)");
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  M.run(1000);
+  EXPECT_EQ(M.error().Kind, RuntimeErrorKind::DivideByZero);
+}
+
+TEST(Machine, IndexOutOfBoundsDetected) {
+  auto C = compile(R"(
+channel c: int
+process p { $a: #array of int = #{ 4 -> 0 }; out(c, a[9]); }
+process q { in(c, $y); }
+)");
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  M.run(1000);
+  EXPECT_EQ(M.error().Kind, RuntimeErrorKind::IndexOutOfBounds);
+}
+
+TEST(Machine, InvalidUnionFieldAccessDetected) {
+  auto C = compile(R"(
+type uT = union of { a: int, b: int }
+channel c: uT
+process p { out(c, { a |> 5 }); }
+process q { in(c, $u); assert(u.b == 5); }
+)");
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  M.run(1000);
+  EXPECT_EQ(M.error().Kind, RuntimeErrorKind::InvalidUnionField);
+}
+
+TEST(Machine, QuiescentWhenNoPartnerExists) {
+  auto C = compile(R"(
+channel c: int
+channel d: int
+process p { in(c, $x); out(d, x); }
+process q { in(d, $y); }
+)");
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  EXPECT_EQ(M.run(1000), Machine::StepResult::Quiescent);
+  EXPECT_FALSE(M.error());
+}
+
+TEST(Machine, StatsCountContextSwitches) {
+  auto C = compile(PipelineSource);
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  M.run(10000);
+  EXPECT_GT(M.stats().ContextSwitches, 0u);
+  EXPECT_GT(M.stats().Instructions, 0u);
+}
+
+TEST(Machine, OptimizedModuleProducesSameResult) {
+  OptOptions Options = OptOptions::all();
+  auto C = compile(PipelineSource, &Options);
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  EXPECT_EQ(M.run(10000), Machine::StepResult::Halted) << M.error().Message;
+}
+
+} // namespace

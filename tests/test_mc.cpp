@@ -1,0 +1,301 @@
+//===--- test_mc.cpp - Model checker tests ----------------------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mc/SafetyHarness.h"
+#include "TestHelpers.h"
+
+using namespace esp;
+using namespace esp::test;
+
+namespace {
+
+TEST(ModelChecker, TerminatingProgramVerifiesClean) {
+  auto C = compile(R"(
+channel c: int
+process a { $i = 0; while (i < 3) { out(c, i); i = i + 1; } }
+process b { $i = 0; while (i < 3) { in(c, $x); assert(x == i); i = i + 1; } }
+)");
+  ASSERT_TRUE(C);
+  McOptions Options;
+  McResult R = checkModel(C->Module, Options);
+  EXPECT_EQ(R.Verdict, McVerdict::OK) << R.report();
+  EXPECT_GT(R.StatesExplored, 0u);
+}
+
+TEST(ModelChecker, FindsAssertionViolationInSomeInterleaving) {
+  // The assertion only fails when p1 wins the race for the server; a
+  // depth-first scheduler could easily miss it, the checker must not.
+  auto C = compile(R"(
+channel req: record of { ret: int }
+channel reply: record of { ret: int, v: int }
+process p1 { out(req, { @ }); in(reply, { @, $v }); }
+process p2 { out(req, { @ }); in(reply, { @, $v }); assert(false); }
+process server {
+  $n = 0;
+  while (n < 2) { in(req, { $who }); out(reply, { who, 1 }); n = n + 1; }
+}
+)");
+  ASSERT_TRUE(C);
+  McOptions Options;
+  McResult R = checkModel(C->Module, Options);
+  EXPECT_EQ(R.Verdict, McVerdict::Violation) << R.report();
+  EXPECT_EQ(R.Violation.Kind, RuntimeErrorKind::AssertFailed);
+  EXPECT_FALSE(R.Trace.empty());
+}
+
+TEST(ModelChecker, DetectsDeadlock) {
+  // Classic cross-coupled rendezvous deadlock.
+  auto C = compile(R"(
+channel c1: int
+channel c2: int
+process a { out(c1, 1); in(c2, $x); }
+process b { out(c2, 2); in(c1, $y); }
+)");
+  ASSERT_TRUE(C);
+  McOptions Options;
+  McResult R = checkModel(C->Module, Options);
+  EXPECT_EQ(R.Verdict, McVerdict::Violation) << R.report();
+  EXPECT_TRUE(R.Deadlock);
+}
+
+TEST(ModelChecker, NoFalseDeadlockOnGuardedAlt) {
+  auto C = compile(R"(
+channel c1: int
+channel c2: int
+process buf {
+  $have = false; $v = 0;
+  while (true) {
+    alt {
+      case( !have, in( c1, $x)) { v = x; have = true; }
+      case( have, out( c2, v)) { have = false; }
+    }
+  }
+}
+process a { $i = 0; while (i < 4) { out(c1, i); i = i + 1; } }
+process b { $i = 0; while (i < 4) { in(c2, $x); assert(x == i); i = i + 1; } }
+)");
+  ASSERT_TRUE(C);
+  McOptions Options;
+  McOptions O = Options;
+  McResult R = checkModel(C->Module, O);
+  // buf loops forever and ends blocked with no counterpart: that IS a
+  // terminal state with a blocked process, i.e. reported as deadlock.
+  // Restrict the check: no assertion/memory violation may be found.
+  if (R.Verdict == McVerdict::Violation) {
+    EXPECT_TRUE(R.Deadlock) << R.report();
+  }
+}
+
+TEST(ModelChecker, DetectsUseAfterFreeRace) {
+  // Process q frees its own reference then reads: a local memory bug.
+  auto C = compile(R"(
+channel c: array of int
+process p {
+  $data: array of int = { 4 -> 7 };
+  out(c, data);
+  unlink(data);
+}
+process q {
+  in(c, $d);
+  unlink(d);
+  assert(d[0] == 7);
+}
+)");
+  ASSERT_TRUE(C);
+  McOptions Options;
+  McResult R = checkModel(C->Module, Options);
+  EXPECT_EQ(R.Verdict, McVerdict::Violation) << R.report();
+  EXPECT_EQ(R.Violation.Kind, RuntimeErrorKind::UseAfterFree);
+}
+
+TEST(ModelChecker, DetectsLeak) {
+  // The receiver never unlinks what it binds: the object leaks when the
+  // binding is overwritten on the next loop iteration.
+  auto C = compile(R"(
+channel c: array of int
+process p {
+  $i = 0;
+  while (i < 3) {
+    $data: array of int = { 2 -> 1 };
+    out(c, data);
+    unlink(data);
+    i = i + 1;
+  }
+}
+process q {
+  $i = 0;
+  while (i < 3) { in(c, $d); i = i + 1; }
+}
+)");
+  ASSERT_TRUE(C);
+  McOptions Options;
+  McResult R = checkModel(C->Module, Options);
+  EXPECT_EQ(R.Verdict, McVerdict::Violation) << R.report();
+  EXPECT_GT(R.LeakedObjects, 0u);
+}
+
+TEST(ModelChecker, CleanRefcountingVerifiesNoLeak) {
+  auto C = compile(R"(
+channel c: array of int
+process p {
+  $i = 0;
+  while (i < 3) {
+    $data: array of int = { 2 -> 1 };
+    out(c, data);
+    unlink(data);
+    i = i + 1;
+  }
+}
+process q {
+  $i = 0;
+  while (i < 3) { in(c, $d); unlink(d); i = i + 1; }
+}
+)");
+  ASSERT_TRUE(C);
+  McOptions Options;
+  McResult R = checkModel(C->Module, Options);
+  EXPECT_EQ(R.Verdict, McVerdict::OK) << R.report();
+}
+
+TEST(ModelChecker, BitStateModeFindsSeededBug) {
+  auto C = compile(R"(
+channel c: int
+process a { $i = 0; while (i < 8) { out(c, i); i = i + 1; } }
+process b { $i = 0; while (i < 8) { in(c, $x); assert(x < 7); i = i + 1; } }
+)");
+  ASSERT_TRUE(C);
+  McOptions Options;
+  Options.Mode = SearchMode::BitState;
+  Options.BitStateBits = 16;
+  McResult R = checkModel(C->Module, Options);
+  EXPECT_EQ(R.Verdict, McVerdict::Violation) << R.report();
+  EXPECT_EQ(R.Violation.Kind, RuntimeErrorKind::AssertFailed);
+}
+
+TEST(ModelChecker, SimulationModeFindsShallowBug) {
+  auto C = compile(R"(
+channel c: int
+process a { out(c, 1); }
+process b { in(c, $x); assert(x == 0); }
+)");
+  ASSERT_TRUE(C);
+  McOptions Options;
+  Options.Mode = SearchMode::Simulation;
+  Options.SimulationRuns = 8;
+  McResult R = checkModel(C->Module, Options);
+  EXPECT_EQ(R.Verdict, McVerdict::Violation) << R.report();
+}
+
+TEST(ModelChecker, StateCountsAreDeterministic) {
+  auto C = compile(R"(
+channel c: int
+process a { $i = 0; while (i < 4) { out(c, i); i = i + 1; } }
+process b { $i = 0; while (i < 4) { in(c, $x); i = i + 1; } }
+)");
+  ASSERT_TRUE(C);
+  McOptions Options;
+  McResult R1 = checkModel(C->Module, Options);
+  McResult R2 = checkModel(C->Module, Options);
+  EXPECT_EQ(R1.StatesExplored, R2.StatesExplored);
+  EXPECT_EQ(R1.StatesStored, R2.StatesStored);
+  EXPECT_EQ(R1.Transitions, R2.Transitions);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-process memory-safety harness (§5.3)
+//===----------------------------------------------------------------------===//
+
+/// The paper's pageTable process (Appendix B), with correct refcounting.
+const char *PageTableSource = R"(
+const TABLE_SIZE = 2;
+type updateT = record of { vAddr: int, pAddr: int }
+type userT = union of { update: updateT }
+channel ptReqC: record of { ret: int, vAddr: int }
+channel ptReplyC: record of { ret: int, pAddr: int }
+channel userReqC: userT
+process pageTable {
+  $table: #array of int = #{ TABLE_SIZE -> 0 };
+  while (true) {
+    alt {
+      case( in( ptReqC, { $ret, $vAddr})) {
+        out( ptReplyC, { ret, table[vAddr % TABLE_SIZE]});
+      }
+      case( in( userReqC, { update |> { $vAddr, $pAddr}})) {
+        table[vAddr % TABLE_SIZE] = pAddr;
+      }
+    }
+  }
+}
+)";
+
+TEST(SafetyHarness, PageTableIsMemorySafe) {
+  auto C = compile(PageTableSource);
+  ASSERT_TRUE(C);
+  SafetyOptions Options;
+  Options.IntDomain = {0, 1};
+  McResult R = verifyProcessMemorySafety(*C->Prog, "pageTable", Options);
+  EXPECT_EQ(R.Verdict, McVerdict::OK) << R.report();
+  EXPECT_GT(R.StatesExplored, 1u);
+}
+
+TEST(SafetyHarness, DetectsInjectedUseAfterFree) {
+  // A process that unlinks the received object and then touches it.
+  auto C = compile(R"(
+type msgT = record of { v: int, data: array of int }
+channel c: msgT
+channel d: int
+process buggy {
+  while (true) {
+    in(c, { $v, $data });
+    unlink(data);
+    out(d, data[0]);
+  }
+}
+)");
+  ASSERT_TRUE(C);
+  SafetyOptions Options;
+  McResult R = verifyProcessMemorySafety(*C->Prog, "buggy", Options);
+  EXPECT_EQ(R.Verdict, McVerdict::Violation) << R.report();
+  EXPECT_EQ(R.Violation.Kind, RuntimeErrorKind::UseAfterFree);
+}
+
+TEST(SafetyHarness, DetectsInjectedLeak) {
+  // Never unlinks what it receives.
+  auto C = compile(R"(
+type msgT = record of { v: int, data: array of int }
+channel c: msgT
+process leaky {
+  while (true) {
+    in(c, { $v, $data });
+  }
+}
+)");
+  ASSERT_TRUE(C);
+  SafetyOptions Options;
+  McResult R = verifyProcessMemorySafety(*C->Prog, "leaky", Options);
+  EXPECT_EQ(R.Verdict, McVerdict::Violation) << R.report();
+}
+
+TEST(SafetyHarness, CorrectConsumerVerifiesClean) {
+  auto C = compile(R"(
+type msgT = record of { v: int, data: array of int }
+channel c: msgT
+channel d: int
+process ok {
+  while (true) {
+    in(c, { $v, $data });
+    out(d, data[0] + v);
+    unlink(data);
+  }
+}
+)");
+  ASSERT_TRUE(C);
+  SafetyOptions Options;
+  McResult R = verifyProcessMemorySafety(*C->Prog, "ok", Options);
+  EXPECT_EQ(R.Verdict, McVerdict::OK) << R.report();
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+//===--- test_printer.cpp - Pretty-printer and round-trip tests ----------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/PrettyPrinter.h"
+#include "vmmc/EspFirmwareSource.h"
+#include "TestHelpers.h"
+
+using namespace esp;
+using namespace esp::test;
+
+namespace {
+
+TEST(Printer, ExpressionsRenderCanonically) {
+  auto C = compile(R"(
+channel c: int
+process p { $x = 1 + 2 * 3; out(c, x); }
+process q { in(c, $y); }
+)");
+  ASSERT_TRUE(C);
+  const DeclStmt *D =
+      ast_cast<DeclStmt>(C->Prog->Processes[0]->Body->getBody()[0]);
+  EXPECT_EQ(printExpr(D->getInit()), "(1 + (2 * 3))");
+}
+
+TEST(Printer, PatternsRenderCanonically) {
+  auto C = compile(R"(
+type sendT = record of { dest: int }
+type userT = union of { send: sendT }
+channel c: userT
+process p { in(c, { send |> { $dest } }); }
+process w { out(c, { send |> { 3 } }); }
+)");
+  ASSERT_TRUE(C);
+  const AltStmt *A =
+      ast_cast<AltStmt>(C->Prog->Processes[0]->Body->getBody()[0]);
+  EXPECT_EQ(printPattern(A->getCases()[0].Action.Pat),
+            "{ send |> { $dest } }");
+}
+
+TEST(Printer, ProgramContainsEveryDeclaration) {
+  auto C = compile(R"(
+const N = 3;
+type rT = record of { a: int }
+channel c: rT
+interface I(out c) { Put( { $a } ) }
+channel d: int
+process consumer { in(c, { $a }); out(d, a + N); }
+)");
+  ASSERT_TRUE(C);
+  std::string Out = printProgram(*C->Prog);
+  EXPECT_NE(Out.find("const N = 3;"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("type rT = record of { a: int }"), std::string::npos);
+  EXPECT_NE(Out.find("channel c: record of { a: int }"), std::string::npos);
+  EXPECT_NE(Out.find("interface I(out c)"), std::string::npos);
+  EXPECT_NE(Out.find("process consumer"), std::string::npos);
+}
+
+/// Round-trip property: parse → check → print → reparse → check → the
+/// two programs lower to identical IR listings.
+void expectRoundTrip(const std::string &Source) {
+  auto C1 = compile(Source);
+  ASSERT_TRUE(C1);
+  std::string Printed = printProgram(*C1->Prog);
+  auto C2 = compile(Printed);
+  ASSERT_TRUE(C2) << "reparse failed; printed source was:\n" << Printed;
+  EXPECT_EQ(C1->Module.dump(), C2->Module.dump())
+      << "printed source was:\n"
+      << Printed;
+}
+
+TEST(PrinterRoundTrip, Pipeline) {
+  expectRoundTrip(R"(
+channel c1: int
+channel c2: int
+process producer { $i = 0; while (i < 5) { out(c1, i); i = i + 1; } }
+process add5 { while (true) { in(c1, $x); out(c2, x + 5); } }
+process consumer { $n = 0; while (n < 5) { in(c2, $y); assert(y == n + 5); n = n + 1; } }
+)");
+}
+
+TEST(PrinterRoundTrip, GuardedAltWithArrays) {
+  expectRoundTrip(R"(
+const SIZE = 4;
+channel chan1: int
+channel chan2: int
+process fifo {
+  $q: #array of int = #{ SIZE -> 0 };
+  $hd = 0; $tl = 0; $cnt = 0;
+  while (true) {
+    alt {
+      case( cnt < SIZE, in( chan1, $v)) { q[tl] = v; tl = (tl + 1) % SIZE; cnt = cnt + 1; }
+      case( cnt > 0, out( chan2, q[hd])) { hd = (hd + 1) % SIZE; cnt = cnt - 1; }
+    }
+  }
+}
+process w { out(chan1, 1); in(chan2, $x); }
+)");
+}
+
+TEST(PrinterRoundTrip, UnionsPatternsAndRefcounting) {
+  expectRoundTrip(R"(
+type dataT = array of int
+type sendT = record of { dest: int, data: dataT }
+type updT = record of { v: int, p: int }
+type userT = union of { send: sendT, update: updT }
+channel reqC: userT
+channel ackC: int
+process sender {
+  in(reqC, { send |> { $dest, $data } });
+  link(data);
+  unlink(data);
+  unlink(data);
+  out(ackC, dest);
+}
+process updater {
+  in(reqC, { update |> { $v, $p } });
+  out(ackC, v + p);
+}
+process driver {
+  $payload: dataT = { 4 -> 7 };
+  out(reqC, { send |> { 5, payload } });
+  unlink(payload);
+  out(reqC, { update |> { 20, 30 } });
+  in(ackC, $a1);
+  in(ackC, $a2);
+}
+)");
+}
+
+TEST(PrinterRoundTrip, ExternalInterfacesAndSelfId) {
+  expectRoundTrip(R"(
+type reqT = record of { a: int, b: int }
+channel reqC: reqT
+channel resC: int
+interface Req(out reqC) { Post( { $a, $b } ) }
+interface Res(in resC) { Done( $v ) }
+channel ptReqC: record of { ret: int, v: int }
+channel ptReplyC: record of { ret: int, v: int }
+process adder {
+  while (true) {
+    in(reqC, { $a, $b });
+    out(ptReqC, { @, a });
+    in(ptReplyC, { @, $t });
+    out(resC, t + b);
+  }
+}
+process table {
+  while (true) {
+    in(ptReqC, { $ret, $v });
+    out(ptReplyC, { ret, v * 2 });
+  }
+}
+)");
+}
+
+TEST(PrinterRoundTrip, CastsAndMutables) {
+  expectRoundTrip(R"(
+channel done: int
+process p {
+  $m: #array of int = #{ 4 -> 1 };
+  m[0] = 10;
+  $frozen = cast(m);
+  if (frozen[0] == 10) { out(done, 1); } else { out(done, 0); }
+  unlink(m);
+  unlink(frozen);
+}
+process q { in(done, $x); }
+)");
+}
+
+TEST(PrinterRoundTrip, TheVmmcFirmwareItself) {
+  // The strongest round-trip case we have: the whole case-study
+  // firmware survives print + reparse with identical IR.
+  expectRoundTrip(esp::vmmc::getVmmcEspSource());
+}
+
+} // namespace

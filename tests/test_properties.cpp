@@ -1,0 +1,251 @@
+//===--- test_properties.cpp - Cross-cutting property tests --------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+// Property-style checks across the whole system: determinism of the
+// runtime and checker, agreement between the interpreter, the model
+// checker's semantic mode, and the generated C, and invariants of the
+// reference-counting discipline under parameter sweeps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mc/ModelChecker.h"
+#include "TestHelpers.h"
+
+using namespace esp;
+using namespace esp::test;
+
+namespace {
+
+/// Builds an N-stage pipeline with a refcounted payload flowing through
+/// every stage; checks every stage saw it and nothing leaked.
+std::string makePipeline(unsigned Stages, unsigned Messages) {
+  std::string Source = "type dataT = array of int\n"
+                       "type msgT = record of { hops: int, data: dataT }\n";
+  for (unsigned I = 0; I <= Stages; ++I)
+    Source += "channel c" + std::to_string(I) + ": msgT\n";
+  Source += "process source {\n  $i = 0;\n  while (i < " +
+            std::to_string(Messages) + ") {\n"
+            "    $d: dataT = { 2 -> i };\n"
+            "    out(c0, { 0, d });\n"
+            "    unlink(d);\n"
+            "    i = i + 1;\n  }\n}\n";
+  for (unsigned I = 0; I != Stages; ++I) {
+    Source += "process stage" + std::to_string(I) + " {\n";
+    Source += "  while (true) {\n";
+    Source += "    in(c" + std::to_string(I) + ", { $hops, $d });\n";
+    Source += "    out(c" + std::to_string(I + 1) + ", { hops + 1, d });\n";
+    Source += "    unlink(d);\n  }\n}\n";
+  }
+  Source += "process sink {\n  $n = 0;\n  while (n < " +
+            std::to_string(Messages) + ") {\n"
+            "    in(c" + std::to_string(Stages) + ", { $hops, $d });\n"
+            "    assert(hops == " + std::to_string(Stages) + ");\n"
+            "    assert(d[0] == n);\n"
+            "    unlink(d);\n"
+            "    n = n + 1;\n  }\n}\n";
+  return Source;
+}
+
+struct PipelineParam {
+  unsigned Stages;
+  unsigned Messages;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<PipelineParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PipelineSweep,
+    ::testing::Values(PipelineParam{1, 1}, PipelineParam{1, 8},
+                      PipelineParam{2, 4}, PipelineParam{3, 4},
+                      PipelineParam{5, 2}, PipelineParam{8, 3}),
+    [](const ::testing::TestParamInfo<PipelineParam> &Info) {
+      return "s" + std::to_string(Info.param.Stages) + "m" +
+             std::to_string(Info.param.Messages);
+    });
+
+TEST_P(PipelineSweep, ExecutesWithoutLeaks) {
+  auto C = compile(makePipeline(GetParam().Stages, GetParam().Messages));
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  Machine::StepResult R = M.run(1'000'000);
+  ASSERT_FALSE(M.error()) << M.error().Message;
+  // Stages loop forever; source and sink must be done, heap empty.
+  EXPECT_EQ(R, Machine::StepResult::Quiescent);
+  EXPECT_EQ(M.heap().getLiveCount(), 0u);
+  EXPECT_EQ(M.countLeakedObjects(), 0u);
+}
+
+TEST_P(PipelineSweep, SharingAndDeepCopyModesAgree) {
+  auto C = compile(makePipeline(GetParam().Stages, GetParam().Messages));
+  ASSERT_TRUE(C);
+  for (bool DeepCopy : {false, true}) {
+    MachineOptions Options;
+    Options.DeepCopyTransfers = DeepCopy;
+    Machine M(C->Module, Options);
+    M.start();
+    M.run(1'000'000);
+    ASSERT_FALSE(M.error()) << "deep=" << DeepCopy << ": "
+                            << M.error().Message;
+    EXPECT_EQ(M.heap().getLiveCount(), 0u) << "deep=" << DeepCopy;
+  }
+}
+
+TEST_P(PipelineSweep, ModelCheckerVerifiesClean) {
+  PipelineParam Param = GetParam();
+  if (Param.Stages * Param.Messages > 12)
+    GTEST_SKIP() << "state space too large for a unit test";
+  auto C = compile(makePipeline(Param.Stages, Param.Messages));
+  ASSERT_TRUE(C);
+  McOptions Options;
+  Options.CheckDeadlock = false; // Stages loop forever.
+  Options.MaxStates = 500'000;
+  McResult R = checkModel(C->Module, Options);
+  EXPECT_NE(R.Verdict, McVerdict::Violation) << R.report();
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism
+//===----------------------------------------------------------------------===//
+
+TEST(Determinism, ExecutionStatsAreReproducible) {
+  auto C = compile(makePipeline(3, 5));
+  ASSERT_TRUE(C);
+  uint64_t FirstInstructions = 0;
+  uint64_t FirstRendezvous = 0;
+  for (int Round = 0; Round != 3; ++Round) {
+    Machine M(C->Module, MachineOptions());
+    M.start();
+    M.run(1'000'000);
+    ASSERT_FALSE(M.error());
+    if (Round == 0) {
+      FirstInstructions = M.stats().Instructions;
+      FirstRendezvous = M.stats().Rendezvous;
+    } else {
+      EXPECT_EQ(M.stats().Instructions, FirstInstructions);
+      EXPECT_EQ(M.stats().Rendezvous, FirstRendezvous);
+    }
+  }
+}
+
+TEST(Determinism, StateSerializationIsCanonical) {
+  auto C = compile(R"(
+type dataT = array of int
+channel c: dataT
+channel d: int
+process p {
+  $a: dataT = { 3 -> 7 };
+  out(c, a);
+  unlink(a);
+}
+process q { in(c, $x); out(d, x[0]); unlink(x); }
+process r { in(d, $v); }
+)");
+  ASSERT_TRUE(C);
+  MachineOptions Options;
+  Options.DeepCopyTransfers = true;
+  Machine M1(C->Module, Options);
+  Machine M2(C->Module, Options);
+  M1.start();
+  M2.start();
+  EXPECT_EQ(M1.serializeState(), M2.serializeState());
+  std::vector<Move> Moves1 = M1.enumerateMoves();
+  std::vector<Move> Moves2 = M2.enumerateMoves();
+  ASSERT_EQ(Moves1.size(), Moves2.size());
+  ASSERT_FALSE(Moves1.empty());
+  M1.applyMove(Moves1[0]);
+  M2.applyMove(Moves2[0]);
+  EXPECT_EQ(M1.serializeState(), M2.serializeState());
+}
+
+TEST(Determinism, SnapshotRestoreRoundTrips) {
+  auto C = compile(makePipeline(2, 3));
+  ASSERT_TRUE(C);
+  MachineOptions Options;
+  Options.DeepCopyTransfers = true;
+  Machine M(C->Module, Options);
+  M.start();
+  std::vector<Move> Moves = M.enumerateMoves();
+  ASSERT_FALSE(Moves.empty());
+  Machine::Snapshot Snap = M.snapshot();
+  std::string Before = M.serializeState();
+  M.applyMove(Moves[0]);
+  EXPECT_NE(M.serializeState(), Before);
+  M.restore(Snap);
+  EXPECT_EQ(M.serializeState(), Before);
+  // The restored machine can take the same move again.
+  std::vector<Move> Again = M.enumerateMoves();
+  EXPECT_EQ(Again.size(), Moves.size());
+}
+
+TEST(Determinism, McStateCountsStableAcrossRuns) {
+  auto C = compile(makePipeline(2, 2));
+  ASSERT_TRUE(C);
+  McOptions Options;
+  Options.CheckDeadlock = false;
+  McResult A = checkModel(C->Module, Options);
+  McResult B = checkModel(C->Module, Options);
+  EXPECT_EQ(A.StatesStored, B.StatesStored);
+  EXPECT_EQ(A.Transitions, B.Transitions);
+}
+
+//===----------------------------------------------------------------------===//
+// Refcount discipline properties
+//===----------------------------------------------------------------------===//
+
+class FanoutSweep : public ::testing::TestWithParam<unsigned> {};
+
+INSTANTIATE_TEST_SUITE_P(Readers, FanoutSweep,
+                         ::testing::Values(2u, 3u, 5u));
+
+TEST_P(FanoutSweep, OneObjectSharedWithNReadersFreesExactlyOnce) {
+  // One payload broadcast to N readers over N channels (refcount
+  // transfer, §6.1): every reader unlinks its reference; the writer
+  // unlinks its own; the object must die exactly once.
+  unsigned N = GetParam();
+  std::string Source = "type dataT = array of int\n";
+  for (unsigned I = 0; I != N; ++I)
+    Source += "channel c" + std::to_string(I) + ": dataT\n";
+  Source += "process writer {\n  $d: dataT = { 2 -> 9 };\n";
+  for (unsigned I = 0; I != N; ++I)
+    Source += "  out(c" + std::to_string(I) + ", d);\n";
+  Source += "  unlink(d);\n}\n";
+  for (unsigned I = 0; I != N; ++I)
+    Source += "process r" + std::to_string(I) + " { in(c" +
+              std::to_string(I) + ", $x); assert(x[1] == 9); unlink(x); }\n";
+  auto C = compile(Source);
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  EXPECT_EQ(M.run(100'000), Machine::StepResult::Halted)
+      << M.error().Message;
+  EXPECT_EQ(M.heap().getLiveCount(), 0u);
+  // Sharing mode: exactly one allocation regardless of reader count.
+  EXPECT_EQ(M.heap().getTotalAllocations(), 1u);
+}
+
+TEST(RefcountProperties, ForgettingOneUnlinkLeaksExactlyOneObject) {
+  auto C = compile(R"(
+type dataT = array of int
+channel c: dataT
+channel d: dataT
+process w {
+  $a: dataT = { 2 -> 1 };
+  $b: dataT = { 2 -> 2 };
+  out(c, a); out(d, b);
+  unlink(a); unlink(b);
+}
+process r1 { in(c, $x); unlink(x); }
+process r2 { in(d, $y); }
+)");
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  EXPECT_EQ(M.run(100'000), Machine::StepResult::Halted)
+      << M.error().Message;
+  EXPECT_EQ(M.heap().getLiveCount(), 1u);
+  EXPECT_EQ(M.countLeakedObjects(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,252 @@
+//===--- test_sim.cpp - Device simulator unit tests ----------------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Nic.h"
+
+#include <gtest/gtest.h>
+
+using namespace esp::sim;
+
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue Q;
+  std::vector<int> Order;
+  Q.scheduleAt(30, [&] { Order.push_back(3); });
+  Q.scheduleAt(10, [&] { Order.push_back(1); });
+  Q.scheduleAt(20, [&] { Order.push_back(2); });
+  Q.runAll();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(Q.now(), 30u);
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue Q;
+  std::vector<int> Order;
+  for (int I = 0; I != 5; ++I)
+    Q.scheduleAt(10, [&Order, I] { Order.push_back(I); });
+  Q.runAll();
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduledInThePastClampsToNow) {
+  EventQueue Q;
+  bool Ran = false;
+  Q.scheduleAt(100, [&] {
+    Q.scheduleAt(50, [&] { Ran = true; }); // In the past.
+  });
+  Q.runAll();
+  EXPECT_TRUE(Ran);
+  EXPECT_EQ(Q.now(), 100u);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue Q;
+  int Count = 0;
+  std::function<void()> Tick = [&] {
+    ++Count;
+    Q.scheduleAfter(10, Tick);
+  };
+  Q.scheduleAfter(10, Tick);
+  Q.runUntil(100);
+  EXPECT_EQ(Count, 10);
+  EXPECT_EQ(Q.now(), 100u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue Q;
+  int Depth = 0;
+  std::function<void(int)> Chain = [&](int N) {
+    Depth = N;
+    if (N < 5)
+      Q.scheduleAfter(1, [&, N] { Chain(N + 1); });
+  };
+  Q.scheduleAt(0, [&] { Chain(1); });
+  Q.runAll();
+  EXPECT_EQ(Depth, 5);
+}
+
+//===----------------------------------------------------------------------===//
+// NIC device model
+//===----------------------------------------------------------------------===//
+
+/// A trivial echo firmware: forwards every host request as one packet,
+/// and notifies for every received packet. Used to test the device
+/// plumbing independent of the real firmwares.
+class EchoFirmware : public Firmware {
+public:
+  void runQuantum(NicEnv &Env) override {
+    Env.charge(10);
+    while (Env.hasHostReq()) {
+      HostReq Req = Env.popHostReq();
+      Packet P;
+      P.Dest = Req.Dest;
+      P.PayloadBytes = Req.Size;
+      P.MsgBytes = Req.Size;
+      P.Token = Req.Token;
+      Env.transmit(P);
+    }
+    while (Env.hasRxPacket()) {
+      Packet P = Env.popRxPacket();
+      Env.notifyRecv(P.Src, P.MsgBytes, P.Token);
+    }
+  }
+  const char *name() const override { return "echo"; }
+};
+
+TEST(NicModel, PacketTravelsBetweenNodes) {
+  Simulator Sim(2);
+  Sim.nic(0).setFirmware(std::make_unique<EchoFirmware>());
+  Sim.nic(1).setFirmware(std::make_unique<EchoFirmware>());
+  RecvNotification Got;
+  unsigned Count = 0;
+  Sim.nic(1).OnRecv = [&](const RecvNotification &Note) {
+    Got = Note;
+    ++Count;
+  };
+  HostReq Req;
+  Req.Dest = 1;
+  Req.Size = 256;
+  Req.Token = 99;
+  Sim.nic(0).postRequest(Req);
+  EXPECT_TRUE(Sim.runUntil([&] { return Count == 1; }, 1'000'000'000));
+  EXPECT_EQ(Got.Token, 99u);
+  EXPECT_EQ(Got.Size, 256u);
+  EXPECT_EQ(Got.Src, 0);
+  EXPECT_GT(Got.At, 0u); // Wire latency plus DMA time passed.
+}
+
+TEST(NicModel, LargerPacketsTakeLonger) {
+  auto timeFor = [](uint32_t Bytes) {
+    Simulator Sim(2);
+    Sim.nic(0).setFirmware(std::make_unique<EchoFirmware>());
+    Sim.nic(1).setFirmware(std::make_unique<EchoFirmware>());
+    SimTime Arrival = 0;
+    Sim.nic(1).OnRecv = [&](const RecvNotification &Note) {
+      Arrival = Note.At;
+    };
+    HostReq Req;
+    Req.Dest = 1;
+    Req.Size = Bytes;
+    Sim.nic(0).postRequest(Req);
+    Sim.runUntil([&] { return Arrival != 0; }, 1'000'000'000);
+    return Arrival;
+  };
+  EXPECT_LT(timeFor(64), timeFor(4096));
+  EXPECT_LT(timeFor(4096), timeFor(65536));
+}
+
+TEST(NicModel, DropFnLosesPackets) {
+  Simulator Sim(2);
+  Sim.nic(0).setFirmware(std::make_unique<EchoFirmware>());
+  Sim.nic(1).setFirmware(std::make_unique<EchoFirmware>());
+  Sim.DropFn = [](const Packet &) { return true; };
+  unsigned Count = 0;
+  Sim.nic(1).OnRecv = [&](const RecvNotification &) { ++Count; };
+  HostReq Req;
+  Req.Dest = 1;
+  Req.Size = 16;
+  Sim.nic(0).postRequest(Req);
+  EXPECT_FALSE(Sim.runUntil([&] { return Count > 0; }, 10'000'000));
+  EXPECT_EQ(Sim.PacketsDropped, 1u);
+}
+
+TEST(NicModel, FirmwareCyclesAccumulate) {
+  Simulator Sim(2);
+  Sim.nic(0).setFirmware(std::make_unique<EchoFirmware>());
+  Sim.nic(1).setFirmware(std::make_unique<EchoFirmware>());
+  unsigned Count = 0;
+  Sim.nic(1).OnRecv = [&](const RecvNotification &) { ++Count; };
+  for (int I = 0; I != 4; ++I) {
+    HostReq Req;
+    Req.Dest = 1;
+    Req.Size = 16;
+    Sim.nic(0).postRequest(Req);
+  }
+  Sim.runUntil([&] { return Count == 4; }, 1'000'000'000);
+  EXPECT_GT(Sim.nic(0).TotalCycles, 0u);
+  EXPECT_GT(Sim.nic(1).TotalCycles, 0u);
+  EXPECT_EQ(Sim.nic(0).PacketsSent, 4u);
+  EXPECT_EQ(Sim.nic(1).PacketsReceived, 4u);
+}
+
+TEST(NicModel, HostDmaSerializesTransfers) {
+  // Two fetches through one engine must not overlap: the second
+  // completion is at least one transfer-time after the first.
+  Simulator Sim(1);
+  struct FetchFirmware : Firmware {
+    std::vector<SimTime> Completions;
+    void runQuantum(NicEnv &Env) override {
+      Env.charge(5);
+      while (Env.hasHostReq()) {
+        HostReq Req = Env.popHostReq();
+        Env.startHostDmaFetch(Req.Size, Req.Token);
+      }
+      while (Env.hasFetchDone()) {
+        Env.popFetchDone();
+        Completions.push_back(Env.localNow());
+      }
+    }
+    const char *name() const override { return "fetch"; }
+  };
+  auto FW = std::make_unique<FetchFirmware>();
+  FetchFirmware *FWPtr = FW.get();
+  Sim.nic(0).setFirmware(std::move(FW));
+  HostReq A;
+  A.Size = 4096;
+  A.Token = 1;
+  HostReq B;
+  B.Size = 4096;
+  B.Token = 2;
+  Sim.nic(0).postRequest(A);
+  Sim.nic(0).postRequest(B);
+  Sim.runUntil([&] { return FWPtr->Completions.size() == 2; },
+               1'000'000'000);
+  ASSERT_EQ(FWPtr->Completions.size(), 2u);
+  SimTime PerTransfer = static_cast<SimTime>(
+      4096 * Sim.costs().HostDmaNsPerByte);
+  EXPECT_GE(FWPtr->Completions[1] - FWPtr->Completions[0],
+            PerTransfer / 2);
+}
+
+TEST(NicModel, WatchdogTicksAdvance) {
+  Simulator Sim(1);
+  struct TickCounter : Firmware {
+    uint64_t Seen = 0;
+    void runQuantum(NicEnv &Env) override {
+      Env.charge(1);
+      if (Env.timerFired()) {
+        Seen = Env.ticks();
+        Env.clearTimerEvent();
+      }
+    }
+    const char *name() const override { return "ticks"; }
+  };
+  auto FW = std::make_unique<TickCounter>();
+  TickCounter *FWPtr = FW.get();
+  Sim.nic(0).setFirmware(std::move(FW));
+  Sim.nic(0).startTimer();
+  Sim.runUntil([&] { return FWPtr->Seen >= 3; },
+               10 * Sim.costs().TimerTickNs);
+  EXPECT_GE(FWPtr->Seen, 3u);
+}
+
+TEST(NicModel, BufferPoolExhaustsAndRecovers) {
+  Simulator Sim(1);
+  Nic &N = Sim.nic(0);
+  NicEnv Env(N);
+  unsigned Total = Sim.costs().NumSramBuffers;
+  std::vector<int> Taken;
+  for (unsigned I = 0; I != Total; ++I) {
+    ASSERT_TRUE(Env.bufferAvailable());
+    Taken.push_back(Env.allocBuffer());
+  }
+  EXPECT_FALSE(Env.bufferAvailable());
+  Env.freeBuffer(Taken.back());
+  EXPECT_TRUE(Env.bufferAvailable());
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+//===--- test_support.cpp - Support library unit tests -------------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "support/StringExtras.h"
+
+#include <gtest/gtest.h>
+
+using namespace esp;
+
+namespace {
+
+TEST(SourceManager, DecodeLinesAndColumns) {
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("a.esp", "one\ntwo\nthree\n");
+  DecodedLoc L0 = SM.decode(SourceLoc(Id, 0));
+  EXPECT_EQ(L0.Line, 1u);
+  EXPECT_EQ(L0.Column, 1u);
+  DecodedLoc L5 = SM.decode(SourceLoc(Id, 5)); // 'w' of two.
+  EXPECT_EQ(L5.Line, 2u);
+  EXPECT_EQ(L5.Column, 2u);
+  DecodedLoc L8 = SM.decode(SourceLoc(Id, 8)); // 't' of three.
+  EXPECT_EQ(L8.Line, 3u);
+  EXPECT_EQ(L8.Column, 1u);
+}
+
+TEST(SourceManager, InvalidLocationDecodesToUnknown) {
+  SourceManager SM;
+  DecodedLoc L = SM.decode(SourceLoc());
+  EXPECT_EQ(L.FileName, "<unknown>");
+  EXPECT_EQ(L.Line, 0u);
+}
+
+TEST(SourceManager, LineTextExtraction) {
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("a.esp", "first\nsecond line\nlast");
+  EXPECT_EQ(SM.getLineText(SourceLoc(Id, 7)), "second line");
+  EXPECT_EQ(SM.getLineText(SourceLoc(Id, 19)), "last"); // No newline at EOF.
+}
+
+TEST(SourceManager, MultipleBuffers) {
+  SourceManager SM;
+  uint32_t A = SM.addBuffer("a.esp", "aaa");
+  uint32_t B = SM.addBuffer("b.esp", "bbb");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(SM.getBufferName(A), "a.esp");
+  EXPECT_EQ(SM.getBuffer(B), "bbb");
+  EXPECT_EQ(SM.getNumBuffers(), 2u);
+}
+
+TEST(SourceManager, MissingFileReturnsSentinel) {
+  SourceManager SM;
+  EXPECT_EQ(SM.addFile("/nonexistent/path.esp"), UINT32_MAX);
+}
+
+TEST(Diagnostics, CountsAndRendering) {
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("d.esp", "x\ny\n");
+  DiagnosticEngine Diags(SM);
+  Diags.error(SourceLoc(Id, 2), "bad thing");
+  Diags.warning(SourceLoc(Id, 0), "iffy thing");
+  Diags.note(SourceLoc(Id, 0), "context");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.getNumErrors(), 1u);
+  EXPECT_EQ(Diags.getNumWarnings(), 1u);
+  std::string All = Diags.renderAll();
+  EXPECT_NE(All.find("d.esp:2:1: error: bad thing"), std::string::npos);
+  EXPECT_NE(All.find("warning: iffy thing"), std::string::npos);
+  EXPECT_NE(All.find("note: context"), std::string::npos);
+  EXPECT_TRUE(Diags.containsMessage("bad"));
+  EXPECT_FALSE(Diags.containsMessage("missing"));
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(StringExtras, Split) {
+  std::vector<std::string_view> Parts = split("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(Parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(StringExtras, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(StringExtras, Fnv1aIsStableAndSensitive) {
+  uint64_t A = fnv1aHash("hello", 5);
+  uint64_t B = fnv1aHash("hello", 5);
+  uint64_t C = fnv1aHash("hellp", 5);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(fnv1aHash("x", 1, 1), fnv1aHash("x", 1, 2)); // Seeded.
+}
+
+TEST(StringExtras, CountEffectiveLines) {
+  EXPECT_EQ(countEffectiveLines(""), 0u);
+  EXPECT_EQ(countEffectiveLines("code();\n"), 1u);
+  EXPECT_EQ(countEffectiveLines("// only a comment\n"), 0u);
+  EXPECT_EQ(countEffectiveLines("   \n\t\n"), 0u);
+  EXPECT_EQ(countEffectiveLines("a(); // trailing comment\nb();\n"), 2u);
+  EXPECT_EQ(countEffectiveLines("/* multi\nline\ncomment */\ncode();\n"),
+            1u);
+  EXPECT_EQ(countEffectiveLines("x(); /* inline */ y();\n"), 1u);
+  EXPECT_EQ(countEffectiveLines("/* a */ code(); /* b\n still b */\n"), 1u);
+}
+
+} // namespace

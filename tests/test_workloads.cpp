@@ -1,0 +1,112 @@
+//===--- test_workloads.cpp - Workload-level property tests --------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+// Cross-firmware properties of the Figure 5 workloads: delivery
+// counting, latency/bandwidth monotonicity in message size, the
+// small-message and page-size discontinuities, and piggyback-ack
+// behavior. These pin the *shape* invariants that EXPERIMENTS.md
+// reports, independent of the calibrated constants.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vmmc/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace esp;
+using namespace esp::vmmc;
+
+namespace {
+
+class WorkloadShape : public ::testing::TestWithParam<FirmwareKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, WorkloadShape,
+    ::testing::Values(FirmwareKind::Esp, FirmwareKind::Orig,
+                      FirmwareKind::OrigNoFastPaths),
+    [](const ::testing::TestParamInfo<FirmwareKind> &Info) {
+      return std::string(firmwareKindName(Info.param));
+    });
+
+TEST_P(WorkloadShape, LatencyIsMonotonicInMessageSize) {
+  double Prev = 0;
+  for (uint32_t Size : {16u, 256u, 4096u}) {
+    WorkloadResult R = runPingpong(GetParam(), Size, 8);
+    ASSERT_TRUE(R.Completed);
+    EXPECT_GT(R.OneWayLatencyUs, Prev)
+        << "latency not monotonic at size " << Size;
+    Prev = R.OneWayLatencyUs;
+  }
+}
+
+TEST_P(WorkloadShape, BandwidthIsMonotonicInMessageSize) {
+  double Prev = 0;
+  for (uint32_t Size : {64u, 1024u, 16384u}) {
+    WorkloadResult R = runOneWay(GetParam(), Size, 16);
+    ASSERT_TRUE(R.Completed);
+    EXPECT_GT(R.BandwidthMBs, Prev)
+        << "bandwidth not monotonic at size " << Size;
+    Prev = R.BandwidthMBs;
+  }
+}
+
+TEST_P(WorkloadShape, SmallMessageBoundaryIsADiscontinuity) {
+  // 32 B (inlined, no fetch DMA) must be meaningfully cheaper than 64 B
+  // (full DMA path) — the paper's 32/64 discontinuity, in every curve.
+  WorkloadResult At32 = runPingpong(GetParam(), 32, 8);
+  WorkloadResult At64 = runPingpong(GetParam(), 64, 8);
+  ASSERT_TRUE(At32.Completed && At64.Completed);
+  EXPECT_GT(At64.OneWayLatencyUs, At32.OneWayLatencyUs * 1.15)
+      << "expected a jump across the small-message boundary";
+}
+
+TEST_P(WorkloadShape, PageBoundarySplitsMessages) {
+  // An 8 KB message is two MTU packets; 4 KB is one. Per-message packet
+  // counts must reflect the split (acks included, so compare deltas).
+  WorkloadResult OnePacket = runOneWay(GetParam(), 4096, 8);
+  WorkloadResult TwoPackets = runOneWay(GetParam(), 8192, 8);
+  ASSERT_TRUE(OnePacket.Completed && TwoPackets.Completed);
+  EXPECT_GT(TwoPackets.PacketsSent, OnePacket.PacketsSent);
+}
+
+TEST_P(WorkloadShape, BidirectionalUsesPiggybackAcks) {
+  // With reverse data flowing, acks piggyback: the bidirectional run
+  // moves 2x the payload of the one-way run but needs fewer than 2x the
+  // packets of the one-way run (which pays explicit acks).
+  WorkloadResult OneWay = runOneWay(GetParam(), 1024, 24);
+  WorkloadResult Bidir = runBidirectional(GetParam(), 1024, 24);
+  ASSERT_TRUE(OneWay.Completed && Bidir.Completed);
+  EXPECT_LT(Bidir.PacketsSent, 2 * OneWay.PacketsSent);
+}
+
+TEST_P(WorkloadShape, DeliveryCountsAreExact) {
+  WorkloadResult R = runOneWay(GetParam(), 512, 20);
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(R.MessagesDelivered, 20u);
+}
+
+TEST_P(WorkloadShape, HeavierLossStillDeliversEverything) {
+  WorkloadResult R = runLossyPingpong(GetParam(), 128, 5, /*DropEveryN=*/2);
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.MessagesDelivered, 10u);
+}
+
+TEST(WorkloadShape2, FirmwareCyclesScaleWithTraffic) {
+  WorkloadResult Few = runOneWay(FirmwareKind::Esp, 1024, 8);
+  WorkloadResult Many = runOneWay(FirmwareKind::Esp, 1024, 32);
+  ASSERT_TRUE(Few.Completed && Many.Completed);
+  EXPECT_GT(Many.FirmwareCyclesNode0, Few.FirmwareCyclesNode0 * 2);
+}
+
+TEST(WorkloadShape2, NoFastPathNeverBeatsFastPath) {
+  for (uint32_t Size : {4u, 64u, 1024u}) {
+    WorkloadResult Fast = runPingpong(FirmwareKind::Orig, Size, 8);
+    WorkloadResult Slow = runPingpong(FirmwareKind::OrigNoFastPaths, Size, 8);
+    ASSERT_TRUE(Fast.Completed && Slow.Completed);
+    EXPECT_LE(Fast.OneWayLatencyUs, Slow.OneWayLatencyUs * 1.01)
+        << "at size " << Size;
+  }
+}
+
+} // namespace
