@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_bidir.dir/bench_fig5c_bidir.cpp.o"
+  "CMakeFiles/bench_fig5c_bidir.dir/bench_fig5c_bidir.cpp.o.d"
+  "bench_fig5c_bidir"
+  "bench_fig5c_bidir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_bidir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

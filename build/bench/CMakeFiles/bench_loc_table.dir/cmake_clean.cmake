@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loc_table.dir/bench_loc_table.cpp.o"
+  "CMakeFiles/bench_loc_table.dir/bench_loc_table.cpp.o.d"
+  "bench_loc_table"
+  "bench_loc_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loc_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

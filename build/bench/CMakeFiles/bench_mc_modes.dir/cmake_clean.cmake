@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mc_modes.dir/bench_mc_modes.cpp.o"
+  "CMakeFiles/bench_mc_modes.dir/bench_mc_modes.cpp.o.d"
+  "bench_mc_modes"
+  "bench_mc_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mc_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_retrans_table.cpp" "bench/CMakeFiles/bench_retrans_table.dir/bench_retrans_table.cpp.o" "gcc" "bench/CMakeFiles/bench_retrans_table.dir/bench_retrans_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vmmc/CMakeFiles/esp_vmmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/esp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/esp_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/esp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/esp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/esp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/esp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

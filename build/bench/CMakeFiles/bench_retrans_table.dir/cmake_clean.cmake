@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retrans_table.dir/bench_retrans_table.cpp.o"
+  "CMakeFiles/bench_retrans_table.dir/bench_retrans_table.cpp.o.d"
+  "bench_retrans_table"
+  "bench_retrans_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retrans_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_verify_table.dir/bench_verify_table.cpp.o"
+  "CMakeFiles/bench_verify_table.dir/bench_verify_table.cpp.o.d"
+  "bench_verify_table"
+  "bench_verify_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_verify_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

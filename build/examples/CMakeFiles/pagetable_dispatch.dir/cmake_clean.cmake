@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagetable_dispatch.dir/pagetable_dispatch.cpp.o"
+  "CMakeFiles/pagetable_dispatch.dir/pagetable_dispatch.cpp.o.d"
+  "pagetable_dispatch"
+  "pagetable_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagetable_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliding_window_verify.dir/sliding_window_verify.cpp.o"
+  "CMakeFiles/sliding_window_verify.dir/sliding_window_verify.cpp.o.d"
+  "sliding_window_verify"
+  "sliding_window_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliding_window_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_demo.dir/vmmc_demo.cpp.o"
+  "CMakeFiles/vmmc_demo.dir/vmmc_demo.cpp.o.d"
+  "vmmc_demo"
+  "vmmc_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

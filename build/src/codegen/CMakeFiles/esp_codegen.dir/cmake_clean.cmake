@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_codegen.dir/CCodeGen.cpp.o"
+  "CMakeFiles/esp_codegen.dir/CCodeGen.cpp.o.d"
+  "CMakeFiles/esp_codegen.dir/PromelaGen.cpp.o"
+  "CMakeFiles/esp_codegen.dir/PromelaGen.cpp.o.d"
+  "libesp_codegen.a"
+  "libesp_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

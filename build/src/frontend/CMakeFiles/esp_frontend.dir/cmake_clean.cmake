@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_frontend.dir/AST.cpp.o"
+  "CMakeFiles/esp_frontend.dir/AST.cpp.o.d"
+  "CMakeFiles/esp_frontend.dir/Instantiate.cpp.o"
+  "CMakeFiles/esp_frontend.dir/Instantiate.cpp.o.d"
+  "CMakeFiles/esp_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/esp_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/esp_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/esp_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/esp_frontend.dir/PatternAnalysis.cpp.o"
+  "CMakeFiles/esp_frontend.dir/PatternAnalysis.cpp.o.d"
+  "CMakeFiles/esp_frontend.dir/PrettyPrinter.cpp.o"
+  "CMakeFiles/esp_frontend.dir/PrettyPrinter.cpp.o.d"
+  "CMakeFiles/esp_frontend.dir/Sema.cpp.o"
+  "CMakeFiles/esp_frontend.dir/Sema.cpp.o.d"
+  "CMakeFiles/esp_frontend.dir/Type.cpp.o"
+  "CMakeFiles/esp_frontend.dir/Type.cpp.o.d"
+  "libesp_frontend.a"
+  "libesp_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_ir.dir/Lowering.cpp.o"
+  "CMakeFiles/esp_ir.dir/Lowering.cpp.o.d"
+  "CMakeFiles/esp_ir.dir/Passes.cpp.o"
+  "CMakeFiles/esp_ir.dir/Passes.cpp.o.d"
+  "libesp_ir.a"
+  "libesp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

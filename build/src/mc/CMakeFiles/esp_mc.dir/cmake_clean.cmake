@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_mc.dir/ModelChecker.cpp.o"
+  "CMakeFiles/esp_mc.dir/ModelChecker.cpp.o.d"
+  "CMakeFiles/esp_mc.dir/SafetyHarness.cpp.o"
+  "CMakeFiles/esp_mc.dir/SafetyHarness.cpp.o.d"
+  "libesp_mc.a"
+  "libesp_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_runtime.dir/Heap.cpp.o"
+  "CMakeFiles/esp_runtime.dir/Heap.cpp.o.d"
+  "CMakeFiles/esp_runtime.dir/Machine.cpp.o"
+  "CMakeFiles/esp_runtime.dir/Machine.cpp.o.d"
+  "libesp_runtime.a"
+  "libesp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_sim.dir/Nic.cpp.o"
+  "CMakeFiles/esp_sim.dir/Nic.cpp.o.d"
+  "libesp_sim.a"
+  "libesp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/esp_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/esp_support.dir/SourceManager.cpp.o"
+  "CMakeFiles/esp_support.dir/SourceManager.cpp.o.d"
+  "CMakeFiles/esp_support.dir/StringExtras.cpp.o"
+  "CMakeFiles/esp_support.dir/StringExtras.cpp.o.d"
+  "libesp_support.a"
+  "libesp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espc.dir/espc.cpp.o"
+  "CMakeFiles/espc.dir/espc.cpp.o.d"
+  "espc"
+  "espc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espmc.dir/espmc.cpp.o"
+  "CMakeFiles/espmc.dir/espmc.cpp.o.d"
+  "espmc"
+  "espmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_vmmc.dir/EspFirmware.cpp.o"
+  "CMakeFiles/esp_vmmc.dir/EspFirmware.cpp.o.d"
+  "CMakeFiles/esp_vmmc.dir/OrigFirmware.cpp.o"
+  "CMakeFiles/esp_vmmc.dir/OrigFirmware.cpp.o.d"
+  "CMakeFiles/esp_vmmc.dir/Workloads.cpp.o"
+  "CMakeFiles/esp_vmmc.dir/Workloads.cpp.o.d"
+  "libesp_vmmc.a"
+  "libesp_vmmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_vmmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

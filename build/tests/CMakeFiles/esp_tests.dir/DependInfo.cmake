@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_codegen.cpp" "tests/CMakeFiles/esp_tests.dir/test_codegen.cpp.o" "gcc" "tests/CMakeFiles/esp_tests.dir/test_codegen.cpp.o.d"
+  "/root/repo/tests/test_heap.cpp" "tests/CMakeFiles/esp_tests.dir/test_heap.cpp.o" "gcc" "tests/CMakeFiles/esp_tests.dir/test_heap.cpp.o.d"
+  "/root/repo/tests/test_instantiate.cpp" "tests/CMakeFiles/esp_tests.dir/test_instantiate.cpp.o" "gcc" "tests/CMakeFiles/esp_tests.dir/test_instantiate.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/esp_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/esp_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_lexer.cpp" "tests/CMakeFiles/esp_tests.dir/test_lexer.cpp.o" "gcc" "tests/CMakeFiles/esp_tests.dir/test_lexer.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/esp_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/esp_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_mc.cpp" "tests/CMakeFiles/esp_tests.dir/test_mc.cpp.o" "gcc" "tests/CMakeFiles/esp_tests.dir/test_mc.cpp.o.d"
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/esp_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/esp_tests.dir/test_parser.cpp.o.d"
+  "/root/repo/tests/test_printer.cpp" "tests/CMakeFiles/esp_tests.dir/test_printer.cpp.o" "gcc" "tests/CMakeFiles/esp_tests.dir/test_printer.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/esp_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/esp_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sema.cpp" "tests/CMakeFiles/esp_tests.dir/test_sema.cpp.o" "gcc" "tests/CMakeFiles/esp_tests.dir/test_sema.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/esp_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/esp_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/esp_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/esp_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_types.cpp" "tests/CMakeFiles/esp_tests.dir/test_types.cpp.o" "gcc" "tests/CMakeFiles/esp_tests.dir/test_types.cpp.o.d"
+  "/root/repo/tests/test_vmmc.cpp" "tests/CMakeFiles/esp_tests.dir/test_vmmc.cpp.o" "gcc" "tests/CMakeFiles/esp_tests.dir/test_vmmc.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/esp_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/esp_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mc/CMakeFiles/esp_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/esp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmmc/CMakeFiles/esp_vmmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/esp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/esp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/esp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/esp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
