@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full local CI: strict build, test suite, and static analysis of the
+# example corpus plus the VMMC firmware (which must stay finding-free).
+#
+# Usage: scripts/check.sh [build-dir]
+#   ESP_SANITIZE=asan scripts/check.sh build-asan   # also valid: ubsan
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-check}"
+SANITIZE="${ESP_SANITIZE:-}"
+
+echo "== configure ($BUILD_DIR, ESP_WERROR=ON${SANITIZE:+, ESP_SANITIZE=$SANITIZE}) =="
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DESP_WERROR=ON \
+  -DESP_SANITIZE="$SANITIZE"
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+echo "== test =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+ESPLINT="$BUILD_DIR/src/tools/esplint"
+
+echo "== esplint: example corpus =="
+"$ESPLINT" "$REPO_ROOT"/examples/esp/*.esp
+
+echo "== esplint: VMMC firmware =="
+"$ESPLINT" --builtin-vmmc
+
+echo "check.sh: all green"

@@ -1,0 +1,202 @@
+//===--- Analysis.cpp - Analysis driver, reporting, rendering --------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace esp;
+
+const char *esp::analysisKindName(AnalysisKind Kind) {
+  switch (Kind) {
+  case AnalysisKind::Deadlock:
+    return "deadlock";
+  case AnalysisKind::LinkBalance:
+    return "link-balance";
+  case AnalysisKind::Reachability:
+    return "reachability";
+  }
+  return "unknown";
+}
+
+const char *esp::analysisSeverityName(AnalysisSeverity Severity) {
+  switch (Severity) {
+  case AnalysisSeverity::Note:
+    return "note";
+  case AnalysisSeverity::Warning:
+    return "warning";
+  case AnalysisSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+unsigned AnalysisResult::numErrors() const {
+  unsigned N = 0;
+  for (const AnalysisFinding &F : Findings)
+    N += F.Severity == AnalysisSeverity::Error;
+  return N;
+}
+
+unsigned AnalysisResult::numWarnings() const {
+  unsigned N = 0;
+  for (const AnalysisFinding &F : Findings)
+    N += F.Severity == AnalysisSeverity::Warning;
+  return N;
+}
+
+AnalysisResult esp::analyzeProgram(const Program &Prog, const ModuleIR &Module,
+                                   const AnalysisOptions &Options) {
+  AnalysisResult Result;
+  if (Options.CheckDeadlock)
+    detail::checkDeadlock(Prog, Module, Options, Result);
+  if (Options.CheckLinkBalance)
+    detail::checkLinkBalance(Prog, Module, Result);
+  if (Options.CheckReachability)
+    detail::checkReachability(Prog, Module, Result);
+
+  // Deterministic presentation order: by location, then severity (errors
+  // first), keeping the per-detector insertion order as the tiebreak.
+  std::stable_sort(Result.Findings.begin(), Result.Findings.end(),
+                   [](const AnalysisFinding &A, const AnalysisFinding &B) {
+                     if (A.Loc.getFileId() != B.Loc.getFileId())
+                       return A.Loc.getFileId() < B.Loc.getFileId();
+                     if (A.Loc.getOffset() != B.Loc.getOffset())
+                       return A.Loc.getOffset() < B.Loc.getOffset();
+                     return static_cast<int>(A.Severity) >
+                            static_cast<int>(B.Severity);
+                   });
+  return Result;
+}
+
+void esp::reportFindings(const AnalysisResult &Result, DiagnosticEngine &Diags,
+                         bool DemoteErrors) {
+  for (const AnalysisFinding &F : Result.Findings) {
+    std::string Message = "[";
+    Message += analysisKindName(F.Kind);
+    Message += "] ";
+    Message += F.Message;
+    AnalysisSeverity Severity = F.Severity;
+    if (DemoteErrors && Severity == AnalysisSeverity::Error)
+      Severity = AnalysisSeverity::Warning;
+    switch (Severity) {
+    case AnalysisSeverity::Error:
+      Diags.error(F.Loc, Message);
+      break;
+    case AnalysisSeverity::Warning:
+      Diags.warning(F.Loc, Message);
+      break;
+    case AnalysisSeverity::Note:
+      Diags.note(F.Loc, Message);
+      break;
+    }
+    for (const AnalysisFinding::Note &N : F.Notes)
+      Diags.note(N.Loc, N.Message);
+  }
+}
+
+namespace {
+
+void renderLoc(const SourceManager &SM, SourceLoc Loc, std::ostream &OS) {
+  DecodedLoc D = SM.decode(Loc);
+  OS << D.FileName << ":" << D.Line << ":" << D.Column;
+}
+
+std::string jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void renderJsonLoc(const SourceManager &SM, SourceLoc Loc, std::ostream &OS) {
+  DecodedLoc D = SM.decode(Loc);
+  OS << "{\"file\": \"" << jsonEscape(D.FileName) << "\", \"line\": " << D.Line
+     << ", \"column\": " << D.Column << "}";
+}
+
+} // namespace
+
+std::string esp::renderFindingsText(const AnalysisResult &Result,
+                                    const SourceManager &SM) {
+  std::ostringstream OS;
+  for (const AnalysisFinding &F : Result.Findings) {
+    renderLoc(SM, F.Loc, OS);
+    OS << ": " << analysisSeverityName(F.Severity) << ": ["
+       << analysisKindName(F.Kind) << "] " << F.Message << "\n";
+    for (const AnalysisFinding::Note &N : F.Notes) {
+      if (N.Loc.isValid()) {
+        OS << "  ";
+        renderLoc(SM, N.Loc, OS);
+        OS << ": ";
+      } else {
+        OS << "  ";
+      }
+      OS << "note: " << N.Message << "\n";
+    }
+  }
+  if (Result.DeadlockSearchIncomplete)
+    OS << "note: [deadlock] state search hit the configuration limit; "
+          "deadlock results are incomplete\n";
+  return OS.str();
+}
+
+std::string esp::renderFindingsJson(const AnalysisResult &Result,
+                                    const SourceManager &SM) {
+  std::ostringstream OS;
+  OS << "{\n";
+  OS << "  \"errors\": " << Result.numErrors() << ",\n";
+  OS << "  \"warnings\": " << Result.numWarnings() << ",\n";
+  OS << "  \"deadlockSearchIncomplete\": "
+     << (Result.DeadlockSearchIncomplete ? "true" : "false") << ",\n";
+  OS << "  \"findings\": [";
+  for (unsigned I = 0, E = Result.Findings.size(); I != E; ++I) {
+    const AnalysisFinding &F = Result.Findings[I];
+    OS << (I ? ",\n    " : "\n    ");
+    OS << "{\"detector\": \"" << analysisKindName(F.Kind) << "\", "
+       << "\"severity\": \"" << analysisSeverityName(F.Severity) << "\", "
+       << "\"location\": ";
+    renderJsonLoc(SM, F.Loc, OS);
+    OS << ", \"message\": \"" << jsonEscape(F.Message) << "\", \"notes\": [";
+    for (unsigned J = 0, NE = F.Notes.size(); J != NE; ++J) {
+      const AnalysisFinding::Note &N = F.Notes[J];
+      OS << (J ? ", " : "") << "{\"location\": ";
+      renderJsonLoc(SM, N.Loc, OS);
+      OS << ", \"message\": \"" << jsonEscape(N.Message) << "\"}";
+    }
+    OS << "]}";
+  }
+  OS << (Result.Findings.empty() ? "]\n" : "\n  ]\n");
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,213 @@
+//===--- CommGraph.cpp - Whole-program communication topology --------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CommGraph.h"
+
+#include "frontend/Sema.h"
+
+#include <algorithm>
+
+using namespace esp;
+
+AbsPattern esp::absFromOutExpr(const Expr *E, const ProcessDecl *Proc) {
+  AbsPattern Out;
+  if (!E) {
+    Out.K = AbsPattern::Unknown;
+    return Out;
+  }
+  if (std::optional<int64_t> V = tryEvalStatic(E, Proc)) {
+    Out.K = AbsPattern::Const;
+    Out.Value = *V;
+    return Out;
+  }
+  switch (E->getKind()) {
+  case ExprKind::RecordLit: {
+    Out.K = AbsPattern::Record;
+    for (const Expr *Elem : ast_cast<RecordLitExpr>(E)->getElems())
+      Out.Kids.push_back(absFromOutExpr(Elem, Proc));
+    return Out;
+  }
+  case ExprKind::UnionLit: {
+    const UnionLitExpr *U = ast_cast<UnionLitExpr>(E);
+    Out.K = AbsPattern::Union;
+    Out.Arm = U->getFieldIndex();
+    Out.Kids.push_back(absFromOutExpr(U->getValue(), Proc));
+    return Out;
+  }
+  default:
+    Out.K = AbsPattern::Unknown;
+    return Out;
+  }
+}
+
+bool esp::mayPair(const AbsPattern &In, const AbsPattern &Out) {
+  return AbsPattern::overlap(In, Out) != AbsPattern::Overlap::Disjoint;
+}
+
+void esp::prunedSuccessors(const ProcIR &Proc, unsigned Index,
+                           std::vector<unsigned> &Succs) {
+  Succs.clear();
+  const Inst &I = Proc.Insts[Index];
+  switch (I.Kind) {
+  case InstKind::Branch: {
+    // "If Cond is false, jump to Target; otherwise fall through."
+    if (std::optional<int64_t> V = tryEvalStatic(I.Cond, Proc.Proc)) {
+      Succs.push_back(*V != 0 ? Index + 1 : I.Target);
+      return;
+    }
+    Succs.push_back(Index + 1);
+    Succs.push_back(I.Target);
+    return;
+  }
+  case InstKind::Jump:
+    Succs.push_back(I.Target);
+    return;
+  case InstKind::Block:
+    for (const IRCase &Case : I.Cases)
+      Succs.push_back(Case.Target);
+    return;
+  case InstKind::Halt:
+    return;
+  default:
+    Succs.push_back(Index + 1);
+    return;
+  }
+}
+
+namespace {
+
+/// Collects the stops (Block instructions or TerminalStop) a process may
+/// next block at starting *from* instruction \p Start, without crossing
+/// another stop. \p BlockStop maps instruction index to stop index.
+std::vector<unsigned> nextStops(const ProcIR &Proc,
+                                const std::vector<int> &BlockStop,
+                                unsigned Start) {
+  std::vector<unsigned> Stops;
+  std::vector<bool> Seen(Proc.Insts.size() + 1, false);
+  std::vector<unsigned> Worklist = {Start};
+  std::vector<unsigned> Succs;
+  auto AddStop = [&Stops](unsigned Stop) {
+    if (std::find(Stops.begin(), Stops.end(), Stop) == Stops.end())
+      Stops.push_back(Stop);
+  };
+  while (!Worklist.empty()) {
+    unsigned I = Worklist.back();
+    Worklist.pop_back();
+    if (I >= Proc.Insts.size()) {
+      AddStop(ProcComm::TerminalStop);
+      continue;
+    }
+    if (Seen[I])
+      continue;
+    Seen[I] = true;
+    if (Proc.Insts[I].Kind == InstKind::Block) {
+      AddStop(static_cast<unsigned>(BlockStop[I]));
+      continue;
+    }
+    if (Proc.Insts[I].Kind == InstKind::Halt) {
+      AddStop(ProcComm::TerminalStop);
+      continue;
+    }
+    prunedSuccessors(Proc, I, Succs);
+    for (unsigned S : Succs)
+      Worklist.push_back(S);
+  }
+  return Stops;
+}
+
+/// Can the environment pair with a process-side case on an external
+/// channel? The interface cases describe every value the external side
+/// produces (writer) or accepts (reader), so the case can fire iff it is
+/// not provably disjoint from all of them.
+bool environmentMayPair(const ChannelDecl *Chan, const AbsPattern &Abs) {
+  if (!Chan->Interface)
+    return true; // Defensive: role without interface, assume fireable.
+  for (const InterfaceCase &Case : Chan->Interface->Cases) {
+    AbsPattern IfaceAbs = AbsPattern::fromPattern(Case.Pat, nullptr);
+    if (AbsPattern::overlap(Abs, IfaceAbs) != AbsPattern::Overlap::Disjoint)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+CommGraph CommGraph::build(const ModuleIR &Module) {
+  CommGraph Graph;
+  Graph.Module = &Module;
+  Graph.Writers.resize(Module.Prog->Channels.size());
+  Graph.Readers.resize(Module.Prog->Channels.size());
+
+  for (unsigned P = 0, NP = Module.Procs.size(); P != NP; ++P) {
+    const ProcIR &Proc = Module.Procs[P];
+    ProcComm Comm;
+    Comm.IR = &Proc;
+
+    // Instruction reachability over the pruned CFG.
+    Comm.ReachableInsts.assign(Proc.Insts.size(), false);
+    std::vector<unsigned> Worklist = {0};
+    std::vector<unsigned> Succs;
+    while (!Worklist.empty()) {
+      unsigned I = Worklist.back();
+      Worklist.pop_back();
+      if (I >= Proc.Insts.size() || Comm.ReachableInsts[I])
+        continue;
+      Comm.ReachableInsts[I] = true;
+      prunedSuccessors(Proc, I, Succs);
+      for (unsigned S : Succs)
+        Worklist.push_back(S);
+    }
+
+    // Stop points: every Block instruction (reachable or not, so the
+    // reachability pass can name the unreachable ones).
+    std::vector<int> BlockStop(Proc.Insts.size(), -1);
+    for (unsigned I = 0, E = Proc.Insts.size(); I != E; ++I) {
+      if (Proc.Insts[I].Kind != InstKind::Block)
+        continue;
+      BlockStop[I] = static_cast<int>(Comm.States.size());
+      CommState State;
+      State.InstIndex = I;
+      Comm.States.push_back(std::move(State));
+    }
+
+    for (CommState &State : Comm.States) {
+      const Inst &Ins = Proc.Insts[State.InstIndex];
+      for (const IRCase &Case : Ins.Cases) {
+        CommCase CC;
+        CC.IR = &Case;
+        CC.Abs = Case.IsIn
+                     ? AbsPattern::fromPattern(Case.Pat, Proc.Proc)
+                     : absFromOutExpr(Case.Out, Proc.Proc);
+        if (Case.Guard) {
+          if (std::optional<int64_t> G = tryEvalStatic(Case.Guard, Proc.Proc))
+            CC.GuardFalse = *G == 0;
+        }
+        CC.External = Case.Channel->Role != ChannelRole::Internal;
+        if (CC.External && !CC.GuardFalse)
+          CC.ExternalFireable = environmentMayPair(Case.Channel, CC.Abs);
+        CC.Succs = nextStops(Proc, BlockStop, Case.Target);
+        State.Cases.push_back(std::move(CC));
+      }
+    }
+
+    Comm.InitialStops = nextStops(Proc, BlockStop, 0);
+    Graph.Procs.push_back(std::move(Comm));
+  }
+
+  for (unsigned P = 0, NP = Graph.Procs.size(); P != NP; ++P) {
+    const ProcComm &Comm = Graph.Procs[P];
+    for (unsigned S = 0, NS = Comm.States.size(); S != NS; ++S) {
+      const CommState &State = Comm.States[S];
+      for (unsigned C = 0, NC = State.Cases.size(); C != NC; ++C) {
+        const CommCase &CC = State.Cases[C];
+        unsigned ChanId = CC.IR->Channel->Id;
+        ChannelEnd End{P, S, C};
+        (CC.IR->IsIn ? Graph.Readers : Graph.Writers)[ChanId].push_back(End);
+      }
+    }
+  }
+  return Graph;
+}

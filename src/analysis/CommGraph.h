@@ -1,0 +1,112 @@
+//===--- CommGraph.h - Whole-program communication topology -----*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The may-block communication topology of a lowered ESP program, shared
+/// by the static analyzers (esplint). Every process is abstracted to its
+/// *stop points* — the Block instructions of the state-machine IR (§4.3)
+/// plus a synthetic terminal stop — and every alt case carries the
+/// abstract pattern (receive side) or abstract value (send side) used for
+/// static pairing, honoring the pattern ports of PatternAnalysis (§4.2).
+///
+/// Control flow between stops follows the per-process CFG with
+/// statically-constant branches pruned (a `const`-guarded `if` only
+/// contributes its live arm), so guards like `if (KEEP == 1)` do not
+/// smear infeasible paths into the analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_ANALYSIS_COMMGRAPH_H
+#define ESP_ANALYSIS_COMMGRAPH_H
+
+#include "frontend/PatternAnalysis.h"
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace esp {
+
+/// One alternative of a stop point, with its static pairing abstraction.
+struct CommCase {
+  const IRCase *IR = nullptr;
+  /// Receive pattern abstraction (in) or sent-value abstraction (out).
+  AbsPattern Abs;
+  /// The guard is statically false: the case can never be selected.
+  bool GuardFalse = false;
+  /// The channel's opposite end is an external interface (§4.5).
+  bool External = false;
+  /// External and at least one interface case may pair with this case;
+  /// the environment is assumed always willing, so the case can fire.
+  bool ExternalFireable = false;
+  /// Stop indices this process may block at next after the case commits
+  /// (ProcComm::TerminalStop when the process may halt instead).
+  std::vector<unsigned> Succs;
+};
+
+/// One may-block state of a process: a Block instruction.
+struct CommState {
+  unsigned InstIndex = 0;
+  std::vector<CommCase> Cases;
+};
+
+/// The communication skeleton of one process.
+struct ProcComm {
+  /// Synthetic stop index meaning "the process has halted".
+  static constexpr unsigned TerminalStop = ~0u;
+
+  const ProcIR *IR = nullptr;
+  std::vector<CommState> States;
+  /// Stops the process may first block at (or TerminalStop).
+  std::vector<unsigned> InitialStops;
+  /// Instruction reachability from entry over the pruned CFG.
+  std::vector<bool> ReachableInsts;
+
+  bool isReachableState(unsigned StateIndex) const {
+    return ReachableInsts[States[StateIndex].InstIndex];
+  }
+};
+
+/// One end of a channel: a specific case of a specific stop point.
+struct ChannelEnd {
+  unsigned Proc = 0;
+  unsigned State = 0;
+  unsigned Case = 0;
+};
+
+/// The whole-program communication topology.
+struct CommGraph {
+  const ModuleIR *Module = nullptr;
+  std::vector<ProcComm> Procs;
+  /// Per channel id: all process-side writer / reader ends.
+  std::vector<std::vector<ChannelEnd>> Writers;
+  std::vector<std::vector<ChannelEnd>> Readers;
+
+  static CommGraph build(const ModuleIR &Module);
+
+  const CommCase &caseAt(const ChannelEnd &End) const {
+    return Procs[End.Proc].States[End.State].Cases[End.Case];
+  }
+};
+
+/// Abstracts an out expression into the pattern domain: statically
+/// evaluable scalars become Const, record/union literals destructure, and
+/// everything else is Unknown.
+AbsPattern absFromOutExpr(const Expr *E, const ProcessDecl *Proc);
+
+/// May a receive pattern pair with a sent value? True unless the overlap
+/// is provably Disjoint (the bias keeps every analysis built on top of
+/// this an under-approximation of "stuck": an uncertain pair is assumed
+/// to fire, so esplint never reports a rendezvous that could happen).
+bool mayPair(const AbsPattern &In, const AbsPattern &Out);
+
+/// Successor instruction indices of Insts[Index] with statically-constant
+/// branch conditions pruned to their live arm.
+void prunedSuccessors(const ProcIR &Proc, unsigned Index,
+                      std::vector<unsigned> &Succs);
+
+} // namespace esp
+
+#endif // ESP_ANALYSIS_COMMGRAPH_H

@@ -129,7 +129,11 @@ private:
   //===--- Names ------------------------------------------------------------===//
 
   std::string varName(unsigned Proc, const VarInfo *V) const {
-    return "v" + std::to_string(Proc) + "_" + V->Name;
+    std::string Name = "v";
+    Name += std::to_string(Proc);
+    Name += "_";
+    Name += V->Name;
+    return Name;
   }
   std::string prepName(unsigned Proc, unsigned Inst, unsigned Case,
                        int Field = -1) const {
@@ -279,7 +283,8 @@ private:
   }
 
   std::string newTemp(std::ostream &) {
-    std::string Name = "t" + std::to_string(TempCounter++);
+    std::string Name = "t";
+    Name += std::to_string(TempCounter++);
     TempDecls << "  esp_obj *" << Name << ";\n";
     return Name;
   }

@@ -275,14 +275,21 @@ private:
     }
     case ExprKind::Unary: {
       const UnaryExpr *U = ast_cast<UnaryExpr>(E);
-      return std::string(U->getOp() == UnaryOp::Not ? "!(" : "-(") +
-             expr(U->getSub(), Proc) + ")";
+      std::string Out = U->getOp() == UnaryOp::Not ? "!(" : "-(";
+      Out += expr(U->getSub(), Proc);
+      Out += ")";
+      return Out;
     }
     case ExprKind::Binary: {
       const BinaryExpr *B = ast_cast<BinaryExpr>(E);
-      return "(" + expr(B->getLHS(), Proc) + " " +
-             binaryOpSpelling(B->getOp()) + " " + expr(B->getRHS(), Proc) +
-             ")";
+      std::string Out = "(";
+      Out += expr(B->getLHS(), Proc);
+      Out += " ";
+      Out += binaryOpSpelling(B->getOp());
+      Out += " ";
+      Out += expr(B->getRHS(), Proc);
+      Out += ")";
+      return Out;
     }
     default:
       // Allocation expressions are emitted as statements feeding a

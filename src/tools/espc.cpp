@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analysis.h"
 #include "codegen/CCodeGen.h"
 #include "codegen/PromelaGen.h"
 #include "frontend/Parser.h"
@@ -43,6 +44,11 @@ void printUsage() {
       "  --emit-spin       generate the SPIN (Promela) specification\n"
       "  --dump-ir         dump the state-machine IR\n"
       "  --check           parse and type-check only\n"
+      "  --analyze         run the esplint static analyses (deadlock,\n"
+      "                    link balance, reachability); analysis errors\n"
+      "                    fail the compile\n"
+      "  -Wanalysis        like --analyze, but report everything as\n"
+      "                    warnings (never fails the compile)\n"
       "  --format          pretty-print the program in canonical form\n"
       "  --run             execute a closed program on the ESP runtime\n"
       "  --safety          compile liveness/bounds assertions into the C\n"
@@ -60,6 +66,8 @@ int main(int Argc, char **Argv) {
   Action Act = Action::EmitC;
   bool Optimize = true;
   bool SafetyChecks = false;
+  bool Analyze = false;
+  bool AnalyzeAsWarnings = false;
   std::string InputPath;
   std::string OutputPath;
   unsigned Instances = 1;
@@ -85,6 +93,10 @@ int main(int Argc, char **Argv) {
       Optimize = false;
     } else if (Arg == "--safety") {
       SafetyChecks = true;
+    } else if (Arg == "--analyze") {
+      Analyze = true;
+    } else if (Arg == "-Wanalysis") {
+      AnalyzeAsWarnings = true;
     } else if (Arg == "-o" && I + 1 < Argc) {
       OutputPath = Argv[++I];
     } else if (Arg == "--instances" && I + 1 < Argc) {
@@ -121,6 +133,14 @@ int main(int Argc, char **Argv) {
   Parser P(SM, FileId, Diags);
   std::unique_ptr<Program> Prog = P.parseProgram();
   bool OK = !Diags.hasErrors() && checkProgram(*Prog, Diags);
+  if (OK && (Analyze || AnalyzeAsWarnings)) {
+    // The analyses run on the unoptimized lowering, like the model
+    // checker, so findings map directly onto the source.
+    ModuleIR Unoptimized = lowerProgram(*Prog);
+    AnalysisResult Result = analyzeProgram(*Prog, Unoptimized);
+    reportFindings(Result, Diags, /*DemoteErrors=*/!Analyze);
+    OK = !Diags.hasErrors();
+  }
   std::fprintf(stderr, "%s", Diags.renderAll().c_str());
   if (!OK)
     return 1;

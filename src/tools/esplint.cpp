@@ -1,0 +1,189 @@
+//===--- esplint.cpp - Whole-program static analyzer for ESP ---------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+// Runs the esplint analyses (deadlock, link/unlink balance, reachability,
+// see src/analysis/) over one or more ESP programs. Each input file is a
+// whole program: ESP has no separate compilation (§4), so the analyses
+// are whole-program by construction.
+//
+// The exit code is the total number of analysis (plus frontend) errors,
+// capped at 125 so it survives the 8-bit exit status.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "vmmc/EspFirmwareSource.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace esp;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: esplint [options] <file.esp>...\n"
+      "\n"
+      "Whole-program static analysis for ESP: deadlock detection over the\n"
+      "communication topology, link/unlink balance (leaks and refcount\n"
+      "underflows), and reachability/usefulness checks. Exit code is the\n"
+      "number of errors found (capped at 125).\n"
+      "\n"
+      "options:\n"
+      "  --format=text|json  output format (default text)\n"
+      "  --no-deadlock       skip the deadlock search\n"
+      "  --no-links          skip the link/unlink balance analysis\n"
+      "  --no-reachability   skip the reachability checks\n"
+      "  --max-configs N     deadlock search state cap (default 1048576)\n"
+      "  --builtin-vmmc      also analyze the built-in VMMC firmware\n"
+      "  -q                  print errors only (warnings still counted)\n");
+}
+
+struct LintStats {
+  unsigned Errors = 0;
+  unsigned Warnings = 0;
+  unsigned Files = 0;
+};
+
+/// Analyzes one registered buffer; renders to stdout. Returns false only
+/// when the program does not parse/check (frontend errors).
+bool lintBuffer(SourceManager &SM, uint32_t FileId, const std::string &Label,
+                const AnalysisOptions &Options, bool Json, bool Quiet,
+                bool &FirstJson, LintStats &Stats) {
+  ++Stats.Files;
+  DiagnosticEngine Diags(SM);
+  Parser P(SM, FileId, Diags);
+  std::unique_ptr<Program> Prog = P.parseProgram();
+  if (Diags.hasErrors() || !checkProgram(*Prog, Diags)) {
+    std::fprintf(stderr, "%s", Diags.renderAll().c_str());
+    std::fprintf(stderr, "esplint: %s: program does not compile; skipping "
+                         "analysis\n",
+                 Label.c_str());
+    Stats.Errors += Diags.getNumErrors();
+    return false;
+  }
+
+  ModuleIR Module = lowerProgram(*Prog); // Unoptimized, like the checker.
+  AnalysisResult Result = analyzeProgram(*Prog, Module, Options);
+  Stats.Errors += Result.numErrors();
+  Stats.Warnings += Result.numWarnings();
+
+  if (Json) {
+    std::printf("%s{\"file\": \"%s\", \"analysis\": ", FirstJson ? "" : ",\n",
+                Label.c_str());
+    FirstJson = false;
+    std::string Doc = renderFindingsJson(Result, SM);
+    while (!Doc.empty() && (Doc.back() == '\n'))
+      Doc.pop_back();
+    std::fputs(Doc.c_str(), stdout);
+    std::fputs("}", stdout);
+    return true;
+  }
+
+  if (Quiet) {
+    AnalysisResult ErrorsOnly;
+    ErrorsOnly.DeadlockSearchIncomplete = Result.DeadlockSearchIncomplete;
+    for (const AnalysisFinding &F : Result.Findings)
+      if (F.Severity == AnalysisSeverity::Error)
+        ErrorsOnly.Findings.push_back(F);
+    std::printf("%s", renderFindingsText(ErrorsOnly, SM).c_str());
+  } else {
+    std::printf("%s", renderFindingsText(Result, SM).c_str());
+  }
+  std::printf("esplint: %s: %u error(s), %u warning(s)\n", Label.c_str(),
+              Result.numErrors(), Result.numWarnings());
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  AnalysisOptions Options;
+  bool Json = false;
+  bool Quiet = false;
+  bool BuiltinVmmc = false;
+  std::vector<std::string> Inputs;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--format=text") {
+      Json = false;
+    } else if (Arg == "--format=json") {
+      Json = true;
+    } else if (Arg == "--format" && I + 1 < Argc) {
+      Json = std::strcmp(Argv[++I], "json") == 0;
+    } else if (Arg == "--no-deadlock") {
+      Options.CheckDeadlock = false;
+    } else if (Arg == "--no-links") {
+      Options.CheckLinkBalance = false;
+    } else if (Arg == "--no-reachability") {
+      Options.CheckReachability = false;
+    } else if (Arg == "--max-configs" && I + 1 < Argc) {
+      char *End = nullptr;
+      unsigned long long Value = std::strtoull(Argv[++I], &End, 10);
+      if (End == Argv[I] || *End != '\0' || Value == 0) {
+        std::fprintf(stderr,
+                     "esplint: --max-configs expects a positive integer, "
+                     "got '%s'\n",
+                     Argv[I]);
+        return 2;
+      }
+      Options.MaxConfigs = static_cast<uint64_t>(Value);
+    } else if (Arg == "--builtin-vmmc") {
+      BuiltinVmmc = true;
+    } else if (Arg == "-q") {
+      Quiet = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "esplint: unknown option '%s'\n", Arg.c_str());
+      printUsage();
+      return 2;
+    } else {
+      Inputs.push_back(Arg);
+    }
+  }
+  if (Inputs.empty() && !BuiltinVmmc) {
+    printUsage();
+    return 2;
+  }
+
+  SourceManager SM;
+  LintStats Stats;
+  bool FirstJson = true;
+  if (Json)
+    std::printf("[");
+  for (const std::string &Path : Inputs) {
+    uint32_t FileId = SM.addFile(Path);
+    if (FileId == UINT32_MAX) {
+      std::fprintf(stderr, "esplint: cannot read '%s'\n", Path.c_str());
+      ++Stats.Errors;
+      continue;
+    }
+    lintBuffer(SM, FileId, Path, Options, Json, Quiet, FirstJson, Stats);
+  }
+  if (BuiltinVmmc) {
+    uint32_t FileId =
+        SM.addBuffer("<builtin-vmmc>", vmmc::getVmmcEspSource());
+    lintBuffer(SM, FileId, "<builtin-vmmc>", Options, Json, Quiet, FirstJson,
+               Stats);
+  }
+  if (Json)
+    std::printf("%s]\n", FirstJson ? "" : "\n");
+  else if (Stats.Files > 1)
+    std::printf("esplint: total: %u file(s), %u error(s), %u warning(s)\n",
+                Stats.Files, Stats.Errors, Stats.Warnings);
+
+  return Stats.Errors > 125 ? 125 : static_cast<int>(Stats.Errors);
+}

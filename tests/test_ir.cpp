@@ -309,8 +309,9 @@ process q { in(c, { 0 }); }
   optimizeModule(C->Module, OptOptions::all());
   const ProcIR *P = procIR(*C, "p");
   for (const Inst &I : P->Insts)
-    if (I.Kind == InstKind::Block)
+    if (I.Kind == InstKind::Block) {
       EXPECT_FALSE(I.Cases[0].MatchFree); // Reader matches on a value.
+    }
 }
 
 TEST(IRPasses, OptimizationPreservesSemantics) {

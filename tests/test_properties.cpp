@@ -60,8 +60,11 @@ INSTANTIATE_TEST_SUITE_P(
                       PipelineParam{2, 4}, PipelineParam{3, 4},
                       PipelineParam{5, 2}, PipelineParam{8, 3}),
     [](const ::testing::TestParamInfo<PipelineParam> &Info) {
-      return "s" + std::to_string(Info.param.Stages) + "m" +
-             std::to_string(Info.param.Messages);
+      std::string Name = "s";
+      Name += std::to_string(Info.param.Stages);
+      Name += "m";
+      Name += std::to_string(Info.param.Messages);
+      return Name;
     });
 
 TEST_P(PipelineSweep, ExecutesWithoutLeaks) {
