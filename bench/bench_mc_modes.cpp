@@ -10,21 +10,87 @@
 // system scaled up until exhaustive search is expensive, and (b) the
 // same system with a seeded race-dependent assertion bug.
 //
+// A second table compares the visited-state storage back-ends (exact,
+// COLLAPSE-compressed exact, hash compaction) on the same system and on
+// the VMMC firmware's per-process memory-safety harness (§5.3), and the
+// measurements are emitted to BENCH_mc_modes.json.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
-#include "mc/ModelChecker.h"
+#include "mc/SafetyHarness.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
+#include "vmmc/EspFirmwareSource.h"
 
 #include <string>
+#include <vector>
 
 using namespace esp;
 using namespace esp::bench;
 
 namespace {
+
+/// One measured configuration, accumulated for BENCH_mc_modes.json.
+struct JsonRow {
+  std::string System;
+  std::string Config;
+  McResult R;
+};
+
+std::vector<JsonRow> JsonRows;
+
+double statesPerSec(const McResult &R) {
+  return R.Seconds > 0 ? R.StatesExplored / R.Seconds : 0.0;
+}
+
+double bytesPerState(const McResult &R) {
+  return R.StatesStored > 0 ? static_cast<double>(R.MemoryBytes) / R.StatesStored
+                            : 0.0;
+}
+
+void record(const std::string &System, const std::string &Config,
+            const McResult &R) {
+  JsonRows.push_back({System, Config, R});
+}
+
+void writeJson() {
+  std::FILE *Out = std::fopen("BENCH_mc_modes.json", "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot write BENCH_mc_modes.json\n");
+    return;
+  }
+  std::fprintf(Out, "{\n  \"bench\": \"mc_modes\",\n  \"rows\": [\n");
+  for (size_t I = 0; I != JsonRows.size(); ++I) {
+    const JsonRow &Row = JsonRows[I];
+    const McResult &R = Row.R;
+    std::fprintf(
+        Out,
+        "    {\"system\": \"%s\", \"config\": \"%s\", "
+        "\"states_explored\": %llu, \"states_stored\": %llu, "
+        "\"transitions\": %llu, \"seconds\": %.6f, "
+        "\"states_per_sec\": %.1f, \"bytes_per_state\": %.2f, "
+        "\"peak_visited_bytes\": %zu, \"component_table_bytes\": %zu, "
+        "\"state_vector_bytes\": %zu, \"compressed_state_bytes\": %zu, "
+        "\"replayed_moves\": %llu, \"verdict\": \"%s\"}%s\n",
+        Row.System.c_str(), Row.Config.c_str(),
+        static_cast<unsigned long long>(R.StatesExplored),
+        static_cast<unsigned long long>(R.StatesStored),
+        static_cast<unsigned long long>(R.Transitions), R.Seconds,
+        statesPerSec(R), bytesPerState(R), R.MemoryBytes,
+        R.ComponentTableBytes, R.StateVectorBytes, R.CompressedStateBytes,
+        static_cast<unsigned long long>(R.ReplayedMoves),
+        R.foundViolation()       ? "violation"
+        : R.Verdict == McVerdict::OK ? "ok"
+                                     : "partial",
+        I + 1 == JsonRows.size() ? "" : ",");
+  }
+  std::fprintf(Out, "  ]\n}\n");
+  std::fclose(Out);
+  std::printf("\nwrote BENCH_mc_modes.json (%zu rows)\n", JsonRows.size());
+}
 
 /// N producers, one server, one consumer; the bug variant asserts a
 /// property that only fails in one interleaving class.
@@ -76,16 +142,35 @@ process joiner {
   return Source;
 }
 
-void runRow(const char *Label, const std::string &Model, SearchMode Mode,
-            unsigned BitBits) {
+/// Owns the whole pipeline: the lowered IR points into the AST, so the
+/// Program must stay alive as long as the ModuleIR is used.
+struct CompiledModel {
   SourceManager SM;
-  DiagnosticEngine Diags(SM);
-  std::unique_ptr<Program> Prog = Parser::parse(SM, Diags, "model", Model);
-  if (!Prog || !checkProgram(*Prog, Diags)) {
-    std::printf("compile error:\n%s", Diags.renderAll().c_str());
-    return;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<Program> Prog;
+  ModuleIR Module;
+};
+
+std::unique_ptr<CompiledModel> compileModel(const std::string &Model) {
+  auto C = std::make_unique<CompiledModel>();
+  C->Diags = std::make_unique<DiagnosticEngine>(C->SM);
+  C->Prog = Parser::parse(C->SM, *C->Diags, "model", Model);
+  if (!C->Prog || !checkProgram(*C->Prog, *C->Diags)) {
+    std::fprintf(stderr, "compile error:\n%s", C->Diags->renderAll().c_str());
+    std::exit(1);
   }
-  ModuleIR Module = lowerProgram(*Prog);
+  C->Module = lowerProgram(*C->Prog);
+  return C;
+}
+
+const char *verdictLabel(const McResult &R) {
+  return R.foundViolation()
+             ? "BUG FOUND"
+             : (R.Verdict == McVerdict::OK ? "proved safe" : "no bug seen");
+}
+
+void runModeRow(const char *Label, const ModuleIR &Module, SearchMode Mode,
+                unsigned BitBits) {
   McOptions Options;
   Options.Mode = Mode;
   Options.BitStateBits = BitBits;
@@ -96,14 +181,56 @@ void runRow(const char *Label, const std::string &Model, SearchMode Mode,
   const char *ModeName = Mode == SearchMode::Exhaustive ? "exhaustive"
                          : Mode == SearchMode::BitState ? "bit-state"
                                                         : "simulation";
-  const char *Verdict =
-      R.foundViolation()
-          ? "BUG FOUND"
-          : (R.Verdict == McVerdict::OK ? "proved safe" : "no bug seen");
-  std::printf("%-28s %-11s %10llu %10llu %9.3f %9.2f  %s\n", Label,
-              ModeName, static_cast<unsigned long long>(R.StatesExplored),
+  std::printf("%-28s %-11s %10llu %10llu %9.3f %9.2f  %s\n", Label, ModeName,
+              static_cast<unsigned long long>(R.StatesExplored),
               static_cast<unsigned long long>(R.StatesStored), R.Seconds,
-              R.MemoryBytes / 1024.0 / 1024.0, Verdict);
+              R.MemoryBytes / 1024.0 / 1024.0, verdictLabel(R));
+  record(Label, ModeName, R);
+}
+
+struct VisitedConfig {
+  const char *Name;
+  VisitedKind Visited;
+  bool Collapse;
+};
+
+constexpr VisitedConfig VisitedConfigs[] = {
+    {"exact", VisitedKind::Exact, false},
+    {"exact+collapse", VisitedKind::Exact, true},
+    {"hash64", VisitedKind::Hash64, true},
+    {"hash128", VisitedKind::Hash128, true},
+};
+
+void runVisitedRow(const char *Label, const ModuleIR &Module,
+                   const VisitedConfig &Cfg) {
+  McOptions Options;
+  Options.Visited = Cfg.Visited;
+  Options.Collapse = Cfg.Collapse;
+  Options.MaxStates = 4'000'000;
+  Options.CheckDeadlock = false;
+  McResult R = checkModel(Module, Options);
+  std::printf("%-28s %-15s %10llu %9.3f %10.0f %8.1f %9.2f  %s\n", Label,
+              Cfg.Name, static_cast<unsigned long long>(R.StatesStored),
+              R.Seconds, statesPerSec(R), bytesPerState(R),
+              R.MemoryBytes / 1024.0 / 1024.0, verdictLabel(R));
+  record(Label, Cfg.Name, R);
+}
+
+void runVmmcRow(const Program &Prog, const char *ProcName,
+                const VisitedConfig &Cfg) {
+  SafetyOptions Options;
+  Options.IntDomain = {0, 1};
+  Options.Mc.MaxStates = 2'000'000;
+  Options.Mc.MaxObjects = 128;
+  Options.Mc.Visited = Cfg.Visited;
+  Options.Mc.Collapse = Cfg.Collapse;
+  McResult R = verifyProcessMemorySafety(Prog, ProcName, Options);
+  std::printf("%-28s %-15s %10llu %9.3f %10.0f %8.1f %9.2f  %s\n", ProcName,
+              Cfg.Name, static_cast<unsigned long long>(R.StatesStored),
+              R.Seconds, statesPerSec(R), bytesPerState(R),
+              R.MemoryBytes / 1024.0 / 1024.0,
+              R.foundViolation() ? "VIOLATION" : "SAFE");
+  record(std::string("vmmc:") + ProcName, Cfg.Name, R);
 }
 
 } // namespace
@@ -113,18 +240,47 @@ int main() {
   std::printf("%-28s %-11s %10s %10s %9s %9s  %s\n", "system", "mode",
               "explored", "stored", "sec", "MB", "verdict");
 
-  std::string Clean = makeModel(6, /*SeedBug=*/false);
-  runRow("2 clients x 6 msgs, clean", Clean, SearchMode::Exhaustive, 0);
-  runRow("2 clients x 6 msgs, clean", Clean, SearchMode::BitState, 18);
-  runRow("2 clients x 6 msgs, clean", Clean, SearchMode::Simulation, 0);
+  auto Clean = compileModel(makeModel(6, /*SeedBug=*/false));
+  runModeRow("2 clients x 6 msgs, clean", Clean->Module, SearchMode::Exhaustive,
+             0);
+  runModeRow("2 clients x 6 msgs, clean", Clean->Module, SearchMode::BitState,
+             18);
+  runModeRow("2 clients x 6 msgs, clean", Clean->Module, SearchMode::Simulation,
+             0);
 
-  std::string Buggy = makeModel(6, /*SeedBug=*/true);
-  runRow("same + seeded race bug", Buggy, SearchMode::Exhaustive, 0);
-  runRow("same + seeded race bug", Buggy, SearchMode::BitState, 18);
-  runRow("same + seeded race bug", Buggy, SearchMode::Simulation, 0);
+  auto Buggy = compileModel(makeModel(6, /*SeedBug=*/true));
+  runModeRow("same + seeded race bug", Buggy->Module, SearchMode::Exhaustive,
+             0);
+  runModeRow("same + seeded race bug", Buggy->Module, SearchMode::BitState, 18);
+  runModeRow("same + seeded race bug", Buggy->Module, SearchMode::Simulation,
+             0);
+
+  printHeader("Table: visited-state storage (COLLAPSE + hash compaction)");
+  std::printf("%-28s %-15s %10s %9s %10s %8s %9s  %s\n", "system", "visited",
+              "stored", "sec", "states/s", "B/state", "MB", "verdict");
+  for (const VisitedConfig &Cfg : VisitedConfigs)
+    runVisitedRow("2 clients x 6 msgs, clean", Clean->Module, Cfg);
+
+  std::printf("\nVMMC firmware per-process safety harness (section 5.3):\n");
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  std::unique_ptr<Program> Firmware =
+      Parser::parse(SM, Diags, "vmmc.esp", vmmc::getVmmcEspSource());
+  if (!Firmware || !checkProgram(*Firmware, Diags)) {
+    std::fprintf(stderr, "firmware failed to compile:\n%s",
+                 Diags.renderAll().c_str());
+    return 1;
+  }
+  for (const VisitedConfig &Cfg : VisitedConfigs)
+    runVmmcRow(*Firmware, "pageTable", Cfg);
+  for (const VisitedConfig &Cfg : VisitedConfigs)
+    runVmmcRow(*Firmware, "userReq", Cfg);
 
   std::printf("\npaper: exhaustive explores everything; bit-state covers "
               "large spaces in\nbounded memory; randomized simulation "
-              "finds most bugs during development.\n");
+              "finds most bugs during development.\nCOLLAPSE and hash "
+              "compaction are SPIN's answers to state-vector memory.\n");
+
+  writeJson();
   return 0;
 }

@@ -6,14 +6,20 @@
 
 #include "mc/ModelChecker.h"
 
+#include "mc/StateStore.h"
 #include "support/StringExtras.h"
 
+#include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <random>
 #include <sstream>
-#include <unordered_set>
 
 using namespace esp;
+
+unsigned esp::clampedBitStateBits(unsigned Bits) {
+  return std::clamp(Bits, MinBitStateBits, MaxBitStateBits);
+}
 
 namespace {
 
@@ -93,120 +99,197 @@ private:
 
   //===--- Exhaustive / bit-state DFS --------------------------------------===//
 
+  /// One DFS level. Frames do not carry machine snapshots: the state of
+  /// a frame is re-derived on demand from the nearest checkpoint by
+  /// replaying the Taken moves of the frames in between.
   struct Frame {
-    Machine::Snapshot Snap;
+    Move Taken; ///< Move that produced this frame's state (root: unused).
     std::vector<Move> Moves;
     size_t NextMove = 0;
-    std::string TakenLabel;
   };
 
-  bool wasVisited(const std::string &Key) {
-    if (Options.Mode == SearchMode::Exhaustive)
-      return !VisitedExact.insert(Key).second;
-    // Bit-state hashing: two independent hash functions over one bit
-    // table (SPIN's supertrace uses the same trick to cut collisions).
-    uint64_t Mask = (uint64_t(1) << Options.BitStateBits) - 1;
-    uint64_t H1 = fnv1aHash(Key.data(), Key.size()) & Mask;
-    uint64_t H2 =
-        fnv1aHash(Key.data(), Key.size(), 0x9e3779b97f4a7c15ULL) & Mask;
-    bool Seen = BitTable[H1 / 8] & (1 << (H1 % 8));
-    bool Seen2 = BitTable[H2 / 8] & (1 << (H2 % 8));
-    BitTable[H1 / 8] |= 1 << (H1 % 8);
-    BitTable[H2 / 8] |= 1 << (H2 % 8);
-    return Seen && Seen2;
-  }
+  /// Sparse snapshot: a full machine state every SnapshotStride levels.
+  struct Checkpoint {
+    size_t Depth; ///< Frame index the snapshot corresponds to.
+    Machine::Snapshot Snap;
+  };
 
-  size_t visitedMemory() const {
-    if (Options.Mode == SearchMode::BitState)
-      return BitTable.size();
-    size_t Bytes = 0;
-    for (const std::string &Key : VisitedExact)
-      Bytes += Key.size() + sizeof(std::string) + 16; // Bucket overhead.
-    return Bytes;
-  }
-
-  void buildTrace(const std::vector<Frame> &Stack, McResult &Result) {
-    for (const Frame &F : Stack)
-      if (!F.TakenLabel.empty())
-        Result.Trace.push_back(F.TakenLabel);
+  /// Emits each move of the counterexample exactly once: the Taken move
+  /// of every non-root frame, then \p Final (the move that produced the
+  /// violating state) when it has not been pushed as a frame.
+  void buildTrace(const std::vector<Frame> &Stack, const Move *Final,
+                  McResult &Result) {
+    for (size_t I = 1; I < Stack.size(); ++I) {
+      Result.TraceMoves.push_back(Stack[I].Taken);
+      Result.Trace.push_back(Stack[I].Taken.str(Module));
+    }
+    if (Final) {
+      Result.TraceMoves.push_back(*Final);
+      Result.Trace.push_back(Final->str(Module));
+    }
   }
 
   McResult dfs() {
     McResult Result;
-    if (Options.Mode == SearchMode::BitState)
-      BitTable.assign((size_t(1) << Options.BitStateBits) / 8, 0);
+    const unsigned Stride = std::max(1u, Options.SnapshotStride);
+    VisitedSet Visited =
+        Options.Mode == SearchMode::BitState
+            ? VisitedSet::bitState(clampedBitStateBits(Options.BitStateBits))
+            : Options.Visited == VisitedKind::Exact
+                  ? VisitedSet::exact()
+                  : VisitedSet::hashCompact(Options.Visited ==
+                                            VisitedKind::Hash128);
+    // COLLAPSE pays off only when full vectors are stored; fingerprint
+    // and bit-state backends hash the flat canonical vector directly.
+    const bool UseCollapse = Options.Collapse &&
+                             Options.Mode != SearchMode::BitState &&
+                             Options.Visited == VisitedKind::Exact;
+    StateCompressor Compressor;
+
+    // Scratch buffers reused across every state.
+    std::string Raw;
+    std::string Control;
+    std::string Key;
+    std::vector<std::string> Blobs;
+
+    // Builds the visited-set key for the current machine state: the flat
+    // canonical vector, or control bytes + interned component indices.
+    auto makeKey = [&](Machine &M) -> const std::string & {
+      if (!UseCollapse) {
+        M.serializeState(Raw);
+        return Raw;
+      }
+      size_t NumObjects = M.serializeComponents(Control, Blobs);
+      Key = Control;
+      for (size_t I = 0; I != NumObjects; ++I)
+        appendVarint(Key, Compressor.intern(Blobs[I]));
+      return Key;
+    };
+
+    auto finalize = [&](McResult &R) {
+      R.ComponentTableBytes = Compressor.tableBytes();
+      R.MemoryBytes = Visited.bytes() + Compressor.tableBytes();
+    };
 
     Machine M(Module, machineOptions());
     M.setEnvModel(Options.Env);
     M.start();
-    Result.StateVectorBytes = M.serializeState().size();
+    M.serializeState(Raw);
+    Result.StateVectorBytes = Raw.size();
     ++Result.StatesExplored;
-    if (checkState(M, Result))
+    if (checkState(M, Result)) {
+      finalize(Result);
       return Result;
-    wasVisited(M.serializeState());
+    }
+    {
+      const std::string &RootKey = makeKey(M);
+      Result.CompressedStateBytes = RootKey.size();
+      Visited.insert(RootKey);
+    }
     ++Result.StatesStored;
 
     std::vector<Frame> Stack;
+    std::vector<Checkpoint> Checkpoints;
+    // Frame index whose state the machine currently holds; SIZE_MAX when
+    // the machine sits in a state that is not on the stack.
+    constexpr size_t Dirty = SIZE_MAX;
+    size_t MachineAt = Dirty;
+
     {
       Frame Root;
-      Root.Snap = M.snapshot();
       Root.Moves = M.enumerateMoves();
-      if (checkState(M, Result) || checkDeadlock(M, Root.Moves, Result))
+      if (M.error() ? checkState(M, Result)
+                    : checkDeadlock(M, Root.Moves, Result)) {
+        finalize(Result);
         return Result;
+      }
       Stack.push_back(std::move(Root));
+      // The root checkpoint is taken after enumerateMoves so that every
+      // restore resumes from exactly the state the first child departed
+      // from (enumeration probes perturb generation counters, which is
+      // canonically invisible but must be replayed consistently).
+      Checkpoints.push_back({0, M.snapshot()});
+      MachineAt = 0;
+      Result.MaxDepthReached = 1;
     }
+
+    // Restores the machine to the state of the top frame: nearest
+    // checkpoint + replay of the Taken moves above it.
+    auto restoreToTop = [&]() {
+      size_t Target = Stack.size() - 1;
+      if (MachineAt == Target)
+        return;
+      const Checkpoint &C = Checkpoints.back();
+      assert(C.Depth <= Target && "checkpoint deeper than target frame");
+      M.restore(C.Snap);
+      for (size_t I = C.Depth + 1; I <= Target; ++I) {
+        assert(!M.error() && "replayed a previously clean path into error");
+        M.applyMove(Stack[I].Taken);
+        ++Result.ReplayedMoves;
+      }
+      MachineAt = Target;
+    };
 
     while (!Stack.empty()) {
       Frame &Top = Stack.back();
       if (Top.NextMove >= Top.Moves.size()) {
         Stack.pop_back();
+        while (!Checkpoints.empty() &&
+               Checkpoints.back().Depth >= Stack.size())
+          Checkpoints.pop_back();
+        if (MachineAt != Dirty && MachineAt >= Stack.size())
+          MachineAt = Dirty;
         continue;
       }
       if (Result.StatesExplored >= Options.MaxStates) {
         Result.Verdict = McVerdict::StateLimit;
-        Result.MemoryBytes = visitedMemory();
+        finalize(Result);
         return Result;
       }
       Move Chosen = Top.Moves[Top.NextMove++];
-      M.restore(Top.Snap);
+      restoreToTop();
       M.applyMove(Chosen);
+      MachineAt = Dirty;
       ++Result.Transitions;
       ++Result.StatesExplored;
       if (checkState(M, Result)) {
-        Top.TakenLabel = Chosen.str(Module);
-        buildTrace(Stack, Result);
-        Result.MemoryBytes = visitedMemory();
+        buildTrace(Stack, &Chosen, Result);
+        finalize(Result);
         return Result;
       }
-      std::string Key = M.serializeState();
-      if (wasVisited(Key))
+      if (!Visited.insert(makeKey(M)))
         continue;
       ++Result.StatesStored;
-      Frame Next;
-      Next.Snap = M.snapshot();
-      Next.Moves = M.enumerateMoves();
-      Top.TakenLabel = Chosen.str(Module);
-      if (checkState(M, Result) ||
-          checkDeadlock(M, Next.Moves, Result)) {
-        buildTrace(Stack, Result);
-        Result.Trace.push_back(Chosen.str(Module));
-        Result.MemoryBytes = visitedMemory();
-        return Result;
-      }
-      Top.TakenLabel.clear();
-      Next.TakenLabel.clear();
       if (Stack.size() >= Options.MaxDepth) {
-        Stack.pop_back();
+        // Depth-bounded prune: the subtree below this state is not
+        // explored, so an error-free search is only PartialOK.
+        Result.DepthTruncated = true;
         continue;
       }
-      if (Stack.size() + 1 > Result.MaxDepthReached)
-        Result.MaxDepthReached = static_cast<unsigned>(Stack.size() + 1);
+      Frame Next;
+      Next.Taken = Chosen;
+      Next.Moves = M.enumerateMoves();
+      // Enumeration itself can fault (ambiguous dispatch, object-table
+      // exhaustion while probing); leaks cannot appear here, so only the
+      // error needs rechecking.
+      if (M.error() ? checkState(M, Result)
+                    : checkDeadlock(M, Next.Moves, Result)) {
+        buildTrace(Stack, &Chosen, Result);
+        finalize(Result);
+        return Result;
+      }
       Stack.push_back(std::move(Next));
+      MachineAt = Stack.size() - 1;
+      if (MachineAt % Stride == 0)
+        Checkpoints.push_back({MachineAt, M.snapshot()});
+      Result.MaxDepthReached = std::max(
+          Result.MaxDepthReached, static_cast<unsigned>(Stack.size()));
     }
-    Result.Verdict = Options.Mode == SearchMode::Exhaustive
-                         ? McVerdict::OK
-                         : McVerdict::PartialOK;
-    Result.MemoryBytes = visitedMemory();
+    Result.Verdict =
+        Options.Mode == SearchMode::Exhaustive && !Result.DepthTruncated
+            ? McVerdict::OK
+            : McVerdict::PartialOK;
+    finalize(Result);
     return Result;
   }
 
@@ -222,15 +305,18 @@ private:
       if (Run == 0)
         Result.StateVectorBytes = M.serializeState().size();
       std::vector<std::string> Trace;
+      std::vector<Move> TraceMoves;
       for (unsigned Depth = 0; Depth != Options.SimulationDepth; ++Depth) {
         ++Result.StatesExplored;
         if (checkState(M, Result)) {
           Result.Trace = Trace;
+          Result.TraceMoves = TraceMoves;
           return Result;
         }
         std::vector<Move> Moves = M.enumerateMoves();
         if (checkState(M, Result) || checkDeadlock(M, Moves, Result)) {
           Result.Trace = Trace;
+          Result.TraceMoves = TraceMoves;
           return Result;
         }
         if (Moves.empty())
@@ -239,6 +325,7 @@ private:
             Moves[std::uniform_int_distribution<size_t>(0, Moves.size() -
                                                                1)(Rng)];
         Trace.push_back(Chosen.str(Module));
+        TraceMoves.push_back(Chosen);
         M.applyMove(Chosen);
         ++Result.Transitions;
         if (Depth + 1 > Result.MaxDepthReached)
@@ -251,8 +338,6 @@ private:
 
   const ModuleIR &Module;
   const McOptions &Options;
-  std::unordered_set<std::string> VisitedExact;
-  std::vector<uint8_t> BitTable;
 };
 
 } // namespace
@@ -260,6 +345,36 @@ private:
 McResult esp::checkModel(const ModuleIR &Module, const McOptions &Options) {
   Search S(Module, Options);
   return S.run();
+}
+
+bool esp::replayTrace(const ModuleIR &Module, const McOptions &Options,
+                      const McResult &Result) {
+  if (!Result.foundViolation())
+    return false;
+  MachineOptions MO;
+  MO.MaxObjects = Options.MaxObjects;
+  MO.ReuseObjectIds = true;
+  MO.DeepCopyTransfers = true;
+  Machine M(Module, MO);
+  M.setEnvModel(Options.Env);
+  M.start();
+  for (const Move &Step : Result.TraceMoves) {
+    if (M.error())
+      return false; // Violated before the trace ended.
+    std::vector<Move> Moves = M.enumerateMoves();
+    if (M.error())
+      return false;
+    if (std::find(Moves.begin(), Moves.end(), Step) == Moves.end())
+      return false; // The reported move is not enabled here.
+    M.applyMove(Step);
+  }
+  if (Result.Deadlock)
+    return M.isDeadlocked();
+  if (Result.LeakedObjects > 0 && !M.error())
+    return M.countLeakedObjects() == Result.LeakedObjects;
+  if (!M.error())
+    M.enumerateMoves(); // Errors that only surface during enumeration.
+  return M.error().Kind == Result.Violation.Kind;
 }
 
 std::string McResult::report() const {
@@ -270,6 +385,9 @@ std::string McResult::report() const {
     break;
   case McVerdict::PartialOK:
     OS << "partial search completed: no errors found\n";
+    if (DepthTruncated)
+      OS << "  warning: max search depth too small (search truncated at "
+            "the depth bound)\n";
     break;
   case McVerdict::StateLimit:
     OS << "search truncated at state limit\n";
@@ -283,13 +401,21 @@ std::string McResult::report() const {
       OS << "  " << Violation.Message << "\n";
     break;
   }
-  OS << "state-vector " << StateVectorBytes << " byte, depth reached "
-     << MaxDepthReached << "\n";
+  OS << "state-vector " << StateVectorBytes << " byte";
+  if (CompressedStateBytes && CompressedStateBytes != StateVectorBytes)
+    OS << " (stored " << CompressedStateBytes << " byte)";
+  OS << ", depth reached " << MaxDepthReached << "\n";
   OS << StatesExplored << " states, explored\n";
   OS << StatesStored << " states, stored\n";
   OS << Transitions << " transitions\n";
+  if (ReplayedMoves)
+    OS << ReplayedMoves << " moves replayed (checkpoint restore)\n";
   OS << "memory usage (visited set): " << (MemoryBytes / 1024.0 / 1024.0)
-     << " Mbyte\n";
+     << " Mbyte";
+  if (ComponentTableBytes)
+    OS << " (component table " << (ComponentTableBytes / 1024.0 / 1024.0)
+       << " Mbyte)";
+  OS << "\n";
   OS << "elapsed " << Seconds << " s\n";
   if (!Trace.empty()) {
     OS << "counterexample (" << Trace.size() << " moves):\n";

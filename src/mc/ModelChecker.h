@@ -33,6 +33,19 @@ namespace esp {
 
 enum class SearchMode : uint8_t { Exhaustive, BitState, Simulation };
 
+/// How the exhaustive search stores visited states (SPIN's storage
+/// trade-offs). Hash compaction stores one fingerprint per state: a
+/// collision can prune an unvisited state, but at 64/128 bits the miss
+/// probability (~n^2/2^64) is negligible, so a completed search still
+/// reports OK. Exact mode is the certainty fallback.
+enum class VisitedKind : uint8_t { Exact, Hash64, Hash128 };
+
+/// Valid range for McOptions::BitStateBits; values outside are clamped
+/// (a tiny table would index out of bounds, 1<<64 is UB).
+inline constexpr unsigned MinBitStateBits = 10;
+inline constexpr unsigned MaxBitStateBits = 28;
+unsigned clampedBitStateBits(unsigned Bits);
+
 struct McOptions {
   SearchMode Mode = SearchMode::Exhaustive;
   uint64_t MaxStates = 10'000'000;
@@ -42,7 +55,21 @@ struct McOptions {
   /// Report live-but-unreachable objects as violations.
   bool CheckLeaks = true;
   bool CheckDeadlock = true;
-  /// log2 of the bit-state table size (BitState mode).
+  /// Visited-state storage for exhaustive search (default: 64-bit hash
+  /// compaction; Exact keeps full state vectors).
+  VisitedKind Visited = VisitedKind::Hash64;
+  /// COLLAPSE compression of exact-mode state vectors: heap-object blobs
+  /// are interned once in a component table and the stored vectors carry
+  /// component indices. No effect on hash/bit-state storage, which never
+  /// stores vectors.
+  bool Collapse = true;
+  /// DFS keeps one full Machine::Snapshot every SnapshotStride levels
+  /// and re-derives intermediate states by replaying moves from the
+  /// nearest checkpoint. 1 = checkpoint every level (fastest backtrack,
+  /// most memory).
+  unsigned SnapshotStride = 16;
+  /// log2 of the bit-state table size (BitState mode); clamped to
+  /// [MinBitStateBits, MaxBitStateBits].
   unsigned BitStateBits = 24;
   /// Number and length of random walks (Simulation mode).
   uint64_t SimulationRuns = 256;
@@ -56,7 +83,8 @@ enum class McVerdict : uint8_t {
   OK,             ///< Full search completed with no violation.
   Violation,      ///< A violation was found (see Violation/Deadlock/Leaked).
   StateLimit,     ///< Search stopped at MaxStates (partial result).
-  PartialOK,      ///< Partial search (bit-state/simulation) saw no violation.
+  PartialOK,      ///< Partial search (bit-state/simulation/depth-truncated)
+                  ///< saw no violation.
 };
 
 struct McResult {
@@ -65,8 +93,15 @@ struct McResult {
   uint64_t StatesStored = 0;
   uint64_t Transitions = 0;
   unsigned MaxDepthReached = 0;
+  /// True when the DFS pruned at MaxDepth: the search is partial and an
+  /// OK verdict is downgraded to PartialOK (SPIN: "max search depth too
+  /// small").
+  bool DepthTruncated = false;
   size_t StateVectorBytes = 0;   ///< Size of the serialized root state.
-  size_t MemoryBytes = 0;        ///< Estimated visited-set memory.
+  size_t CompressedStateBytes = 0; ///< Stored key size of the root state.
+  size_t ComponentTableBytes = 0;  ///< COLLAPSE component-table memory.
+  size_t MemoryBytes = 0;        ///< Visited set + component table memory.
+  uint64_t ReplayedMoves = 0;    ///< Moves re-applied restoring checkpoints.
   double Seconds = 0.0;
 
   // Violation details.
@@ -74,6 +109,8 @@ struct McResult {
   bool Deadlock = false;
   unsigned LeakedObjects = 0;
   std::vector<std::string> Trace;
+  /// The same counterexample as Trace, as replayable moves.
+  std::vector<Move> TraceMoves;
 
   bool foundViolation() const { return Verdict == McVerdict::Violation; }
 
@@ -85,6 +122,14 @@ struct McResult {
 /// *without* optimizations, matching the paper's early translation,
 /// §5.2).
 McResult checkModel(const ModuleIR &Module, const McOptions &Options);
+
+/// Re-executes \p Result's counterexample (TraceMoves) on a fresh
+/// machine built with the same \p Options and checks that it actually
+/// ends in the reported violation: every move must be enabled when it is
+/// applied, and the final state must exhibit the reported error kind,
+/// deadlock, or leak. Returns false for a trace that does not replay.
+bool replayTrace(const ModuleIR &Module, const McOptions &Options,
+                 const McResult &Result);
 
 } // namespace esp
 

@@ -1,0 +1,97 @@
+//===--- StateStore.cpp - Visited-state storage for the checker ------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mc/StateStore.h"
+
+#include "support/StringExtras.h"
+
+#include <cassert>
+
+using namespace esp;
+
+//===----------------------------------------------------------------------===//
+// StateCompressor
+//===----------------------------------------------------------------------===//
+
+uint32_t StateCompressor::intern(const std::string &Blob) {
+  auto [It, IsNew] = Index.emplace(Blob, static_cast<uint32_t>(Index.size()));
+  if (IsNew)
+    Bytes += It->first.size() + sizeof(std::string) + 16; // Node overhead.
+  return It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// VisitedSet
+//===----------------------------------------------------------------------===//
+
+VisitedSet VisitedSet::exact() { return VisitedSet(Impl::Exact); }
+
+VisitedSet VisitedSet::hashCompact(bool Wide) {
+  return VisitedSet(Wide ? Impl::Hash128 : Impl::Hash64);
+}
+
+VisitedSet VisitedSet::bitState(unsigned Bits) {
+  assert(Bits >= 3 && Bits < 64 && "bit-state bits must be validated");
+  VisitedSet S(Impl::BitState);
+  S.BitTable.assign((size_t(1) << Bits) / 8, 0);
+  S.BitMask = (uint64_t(1) << Bits) - 1;
+  return S;
+}
+
+bool VisitedSet::insert(std::string_view Key) {
+  bool New = false;
+  switch (Kind) {
+  case Impl::Exact:
+    New = ExactKeys.emplace(Key).second;
+    break;
+  case Impl::Hash64:
+    New = Fp64.insert(mix64(fnv1aHash(Key.data(), Key.size()))).second;
+    break;
+  case Impl::Hash128: {
+    Fp128 F;
+    F.Hi = mix64(fnv1aHash(Key.data(), Key.size()));
+    F.Lo = mix64(fnv1aHash(Key.data(), Key.size(), 0x9e3779b97f4a7c15ULL));
+    New = Fp128Set.insert(F).second;
+    break;
+  }
+  case Impl::BitState: {
+    // Two independent hash functions over one bit table (SPIN's
+    // supertrace uses the same trick to cut collisions).
+    uint64_t H1 = mix64(fnv1aHash(Key.data(), Key.size())) & BitMask;
+    uint64_t H2 =
+        mix64(fnv1aHash(Key.data(), Key.size(), 0x9e3779b97f4a7c15ULL)) &
+        BitMask;
+    bool Seen1 = BitTable[H1 / 8] & (1 << (H1 % 8));
+    bool Seen2 = BitTable[H2 / 8] & (1 << (H2 % 8));
+    BitTable[H1 / 8] |= 1 << (H1 % 8);
+    BitTable[H2 / 8] |= 1 << (H2 % 8);
+    New = !(Seen1 && Seen2);
+    break;
+  }
+  }
+  Stored += New;
+  return New;
+}
+
+size_t VisitedSet::bytes() const {
+  switch (Kind) {
+  case Impl::Exact: {
+    size_t Bytes = ExactKeys.bucket_count() * sizeof(void *);
+    for (const std::string &Key : ExactKeys)
+      Bytes += Key.size() + sizeof(std::string) + 16; // Node overhead.
+    return Bytes;
+  }
+  case Impl::Hash64:
+    return Fp64.size() * (sizeof(uint64_t) + 16) +
+           Fp64.bucket_count() * sizeof(void *);
+  case Impl::Hash128:
+    return Fp128Set.size() * (sizeof(Fp128) + 16) +
+           Fp128Set.bucket_count() * sizeof(void *);
+  case Impl::BitState:
+    return BitTable.size();
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===--- StateStore.h - Visited-state storage for the checker ---*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory-efficient visited-state storage for the explicit-state model
+/// checker, reproducing SPIN's answers to state explosion:
+///
+///  * StateCompressor — COLLAPSE compression: every distinct heap-object
+///    blob is stored once in a component table; stored state vectors
+///    carry small component indices instead of object contents.
+///  * VisitedSet — unified visited-state set with four backends:
+///    exact (full keys), hash-compaction (64- or 128-bit fingerprints
+///    per state, SPIN's -DHC), and bit-state hashing (two bits per state
+///    in a fixed table, SPIN's supertrace).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_MC_STATESTORE_H
+#define ESP_MC_STATESTORE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace esp {
+
+/// COLLAPSE component table: interns serialized heap-object blobs and
+/// hands out dense indices. A blob shared by millions of states (a
+/// common buffer content, a steady-state record) is stored exactly once.
+class StateCompressor {
+public:
+  /// Interns \p Blob, returning its component index. Identical blobs get
+  /// identical indices for the lifetime of the compressor.
+  uint32_t intern(const std::string &Blob);
+
+  /// Number of distinct components stored.
+  size_t components() const { return Index.size(); }
+
+  /// Estimated memory held by the component table.
+  size_t tableBytes() const { return Bytes; }
+
+private:
+  std::unordered_map<std::string, uint32_t> Index;
+  size_t Bytes = 0;
+};
+
+/// Visited-state set. `insert` returns true when the key was new; a
+/// false return in the lossy backends (hash-compaction fingerprint
+/// collision, bit-state saturation) can prune an unvisited state — the
+/// probability is negligible for hash-compaction (~n^2/2^64) and the
+/// accepted trade-off of supertrace for bit-state.
+class VisitedSet {
+public:
+  /// Exact storage of full keys (SPIN's default exhaustive storage).
+  static VisitedSet exact();
+  /// Hash-compaction: store one fingerprint per state. \p Wide selects
+  /// 128-bit fingerprints over 64-bit.
+  static VisitedSet hashCompact(bool Wide);
+  /// Bit-state hashing over a 2^Bits-bit table with two independent
+  /// hash functions. \p Bits must already be validated (see
+  /// clampedBitStateBits in ModelChecker.h).
+  static VisitedSet bitState(unsigned Bits);
+
+  /// Inserts \p Key; true when it was not present before.
+  bool insert(std::string_view Key);
+
+  /// States recorded via insert() returning true.
+  uint64_t size() const { return Stored; }
+
+  /// Estimated memory held by the set.
+  size_t bytes() const;
+
+private:
+  enum class Impl : uint8_t { Exact, Hash64, Hash128, BitState };
+
+  explicit VisitedSet(Impl K) : Kind(K) {}
+
+  struct Fp128 {
+    uint64_t Hi = 0, Lo = 0;
+    bool operator==(const Fp128 &O) const { return Hi == O.Hi && Lo == O.Lo; }
+  };
+  struct Fp128Hash {
+    size_t operator()(const Fp128 &F) const { return static_cast<size_t>(F.Hi); }
+  };
+
+  Impl Kind;
+  uint64_t Stored = 0;
+  std::unordered_set<std::string> ExactKeys;
+  std::unordered_set<uint64_t> Fp64;
+  std::unordered_set<Fp128, Fp128Hash> Fp128Set;
+  std::vector<uint8_t> BitTable;
+  uint64_t BitMask = 0;
+};
+
+} // namespace esp
+
+#endif // ESP_MC_STATESTORE_H

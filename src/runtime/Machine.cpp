@@ -7,7 +7,9 @@
 #include "runtime/Machine.h"
 
 #include "frontend/Sema.h"
+#include "support/StringExtras.h"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 #include <unordered_map>
@@ -1285,6 +1287,36 @@ bool Machine::allDone() const {
 //===----------------------------------------------------------------------===//
 
 std::vector<Move> Machine::enumerateMoves() {
+  std::vector<Move> Moves = enumerateMovesImpl();
+  // Undo the lazy-out preparation done while probing: enumeration must
+  // not perturb the serializable state. The model checker's snapshot-free
+  // DFS re-derives frame states by replaying moves from sparse
+  // checkpoints and relies on enumeration being canonically pure.
+  for (unsigned I = 0, E = static_cast<unsigned>(Procs.size()); I != E; ++I) {
+    ProcState &P = Procs[I];
+    if (P.St != ProcState::Status::Blocked)
+      continue;
+    const Inst &Ins = Module.Procs[I].Insts[P.PC];
+    size_t N = std::min(Ins.Cases.size(), P.PreparedValid.size());
+    for (size_t C = 0; C != N; ++C) {
+      const IRCase &Case = Ins.Cases[C];
+      if (!P.PreparedValid[C] || Case.IsIn || !Case.LazyOut)
+        continue;
+      if (Case.ElideRecordAlloc) {
+        const RecordLitExpr *R = ast_cast<RecordLitExpr>(Case.Out);
+        for (size_t F = 0, NF = R->getElems().size(); F != NF; ++F)
+          dropSenderTemp(R->getElems()[F], P.Prepared[C][F]);
+      } else if (Case.Out) {
+        dropSenderTemp(Case.Out, P.Prepared[C][0]);
+      }
+      P.Prepared[C].clear();
+      P.PreparedValid[C] = false;
+    }
+  }
+  return Moves;
+}
+
+std::vector<Move> Machine::enumerateMovesImpl() {
   std::vector<Move> Moves;
   if (Error)
     return Moves;
@@ -1476,85 +1508,147 @@ void Machine::restore(const Snapshot &S) {
 
 namespace {
 
+/// Canonical state serializer. Heap references serialize as canonical
+/// ids assigned in first-visit order, never as raw objectIds, so states
+/// differing only in allocation order (ids, generations, free-list
+/// order) coincide. Runs in two layouts:
+///
+///  * inline (Blobs == nullptr): object contents follow the first-visit
+///    marker in the single output string — the classic flat vector;
+///  * component (Blobs != nullptr): object contents go one-per-object
+///    into Blobs[id], and the control stream carries only canonical ids.
+///    The model checker's COLLAPSE table interns each blob once and the
+///    stored state vector shrinks to control bytes + component indices.
+///
+/// Targets are addressed by blob id (kControl for the control stream)
+/// and re-resolved on every write: recursion may grow the blob vector
+/// and invalidate outstanding string references.
 class StateSerializer {
 public:
-  StateSerializer(const Heap &H, std::string &Out) : H(H), Out(Out) {}
+  static constexpr size_t kControl = SIZE_MAX;
 
-  void value(const Value &V) {
+  StateSerializer(const Heap &H, std::string &Control,
+                  std::vector<std::string> *Blobs)
+      : H(H), Control(Control), Blobs(Blobs) {}
+
+  size_t numBlobs() const { return NumBlobs; }
+
+  void value(size_t Target, const Value &V) {
     switch (V.K) {
     case Value::Kind::Uninit:
-      byte(0);
+      out(Target).push_back(0);
       return;
-    case Value::Kind::Int:
-      byte(1);
-      u64(static_cast<uint64_t>(V.Scalar));
+    case Value::Kind::Int: {
+      std::string &O = out(Target);
+      O.push_back(1);
+      appendVarint(O, zigzagEncode(V.Scalar));
       return;
-    case Value::Kind::Bool:
-      byte(2);
-      byte(V.Scalar ? 1 : 0);
+    }
+    case Value::Kind::Bool: {
+      std::string &O = out(Target);
+      O.push_back(2);
+      O.push_back(V.Scalar ? 1 : 0);
       return;
+    }
     case Value::Kind::Ref:
-      ref(V);
+      ref(Target, V);
       return;
     }
   }
 
 private:
-  void byte(uint8_t B) { Out.push_back(static_cast<char>(B)); }
-  void u64(uint64_t V) {
-    for (int I = 0; I != 8; ++I)
-      byte(static_cast<uint8_t>(V >> (I * 8)));
+  std::string &out(size_t Target) {
+    if (!Blobs || Target == kControl)
+      return Control;
+    return (*Blobs)[Target];
   }
 
-  void ref(const Value &V) {
+  void ref(size_t Target, const Value &V) {
     const HeapObject *Obj = H.deref(V);
     if (!Obj) {
-      byte(3); // Dangling reference: canonical "dead" marker.
+      out(Target).push_back(3); // Dangling reference: canonical "dead".
       return;
     }
     uint64_t Key = (static_cast<uint64_t>(V.Ref) << 32) | V.Gen;
     auto It = CanonicalIds.find(Key);
     if (It != CanonicalIds.end()) {
-      byte(4); // Back reference.
-      u64(It->second);
+      std::string &O = out(Target);
+      O.push_back(4); // Back reference.
+      appendVarint(O, It->second);
       return;
     }
-    uint64_t Id = CanonicalIds.size();
+    uint64_t Id = NumBlobs++;
     CanonicalIds.emplace(Key, Id);
-    byte(5); // First visit: serialize contents.
-    u64(reinterpret_cast<uintptr_t>(Obj->ObjType));
-    u64(static_cast<uint64_t>(Obj->Arm));
-    u64(Obj->RefCount);
-    u64(Obj->Elems.size());
+    {
+      std::string &O = out(Target);
+      O.push_back(5); // First visit.
+      appendVarint(O, Id);
+    }
+    size_t ContentTarget = Target;
+    if (Blobs) {
+      if (Blobs->size() < NumBlobs)
+        Blobs->emplace_back();
+      (*Blobs)[Id].clear();
+      ContentTarget = Id;
+    }
+    {
+      std::string &O = out(ContentTarget);
+      appendVarint(O, reinterpret_cast<uintptr_t>(Obj->ObjType));
+      appendVarint(O, zigzagEncode(Obj->Arm));
+      appendVarint(O, Obj->RefCount);
+      appendVarint(O, Obj->Elems.size());
+    }
     for (const Value &Elem : Obj->Elems)
-      value(Elem);
+      value(ContentTarget, Elem);
   }
 
   const Heap &H;
-  std::string &Out;
+  std::string &Control;
+  std::vector<std::string> *Blobs;
+  size_t NumBlobs = 0;
   std::unordered_map<uint64_t, uint64_t> CanonicalIds;
 };
+
+/// Walks the machine state through \p S, writing control data into
+/// \p Control. Shared by the inline and component serializations.
+size_t serializeMachineState(const std::vector<ProcState> &Procs,
+                             const RuntimeError &Error, std::string &Control,
+                             StateSerializer &S) {
+  for (const ProcState &P : Procs) {
+    Control.push_back(static_cast<char>(P.St));
+    appendVarint(Control, P.PC);
+    for (const Value &Slot : P.Slots)
+      S.value(StateSerializer::kControl, Slot);
+    for (size_t C = 0; C != P.PreparedValid.size(); ++C) {
+      Control.push_back(P.PreparedValid[C] ? 1 : 0);
+      if (P.PreparedValid[C])
+        for (const Value &V : P.Prepared[C])
+          S.value(StateSerializer::kControl, V);
+    }
+  }
+  Control.push_back(static_cast<char>(Error.Kind));
+  return S.numBlobs();
+}
 
 } // namespace
 
 std::string Machine::serializeState() const {
   std::string Out;
-  StateSerializer S(H, Out);
-  for (const ProcState &P : Procs) {
-    Out.push_back(static_cast<char>(P.St));
-    for (int I = 0; I != 4; ++I)
-      Out.push_back(static_cast<char>(P.PC >> (I * 8)));
-    for (const Value &Slot : P.Slots)
-      S.value(Slot);
-    for (size_t C = 0; C != P.PreparedValid.size(); ++C) {
-      Out.push_back(P.PreparedValid[C] ? 1 : 0);
-      if (P.PreparedValid[C])
-        for (const Value &V : P.Prepared[C])
-          S.value(V);
-    }
-  }
-  Out.push_back(static_cast<char>(Error.Kind));
+  serializeState(Out);
   return Out;
+}
+
+void Machine::serializeState(std::string &Out) const {
+  Out.clear();
+  StateSerializer S(H, Out, nullptr);
+  serializeMachineState(Procs, Error, Out, S);
+}
+
+size_t Machine::serializeComponents(std::string &Control,
+                                    std::vector<std::string> &ObjectBlobs) const {
+  Control.clear();
+  StateSerializer S(H, Control, &ObjectBlobs);
+  return serializeMachineState(Procs, Error, Control, S);
 }
 
 unsigned Machine::countLeakedObjects() const {

@@ -145,6 +145,13 @@ struct Move {
   unsigned EnvVariant = 0; ///< For EnvSend.
 
   std::string str(const ModuleIR &Module) const;
+
+  /// Structural equality; used to validate counterexample replays.
+  friend bool operator==(const Move &A, const Move &B) {
+    return A.K == B.K && A.Channel == B.Channel && A.Writer == B.Writer &&
+           A.WriterCase == B.WriterCase && A.Reader == B.Reader &&
+           A.ReaderCase == B.ReaderCase && A.EnvVariant == B.EnvVariant;
+  }
 };
 
 /// Per-process interpreter state.
@@ -233,6 +240,9 @@ public:
 
   /// Enumerates every enabled move in the current state. All processes
   /// must be Blocked/Done/Failed (i.e. after start()/applyMove()).
+  /// Enumeration is canonically pure: probe allocations and lazily
+  /// prepared out values are undone before returning, so serializeState
+  /// is identical before and after (the snapshot-free DFS relies on it).
   std::vector<Move> enumerateMoves();
 
   /// Applies \p M: performs the transfer and runs both participants to
@@ -247,8 +257,27 @@ public:
 
   /// Canonically serializes the entire machine state (PCs, slots,
   /// reachable object graphs, prepared values). Two states with the same
-  /// serialization behave identically.
+  /// serialization behave identically. Heap references are replaced by
+  /// canonical ids in first-visit order, so states that differ only in
+  /// object allocation order (objectIds, generations, free-list order)
+  /// serialize identically.
   std::string serializeState() const;
+
+  /// Same, writing into \p Out (cleared first). The model checker reuses
+  /// one scratch buffer across millions of states instead of allocating
+  /// a fresh string per state.
+  void serializeState(std::string &Out) const;
+
+  /// COLLAPSE-style component serialization (SPIN §"collapse"): fills
+  /// \p Control with the per-process control data (status, PC, slots and
+  /// prepared values, with heap references as canonical ids) and writes
+  /// one canonical content blob per reachable heap object into
+  /// \p ObjectBlobs[0..N) in first-visit order. Returns N. \p ObjectBlobs
+  /// is only ever grown so its strings keep their capacity across calls;
+  /// entries at index >= N are stale. Concatenating Control with the
+  /// blobs in order is equivalent to serializeState() as a state identity.
+  size_t serializeComponents(std::string &Control,
+                             std::vector<std::string> &ObjectBlobs) const;
 
   /// Live objects unreachable from any root: leaked memory.
   unsigned countLeakedObjects() const;
@@ -319,6 +348,9 @@ private:
   /// Either side may be the environment/externals.
   bool transfer(int WriterIndex, unsigned WriterCase, int ReaderIndex,
                 unsigned ReaderCase, const std::vector<Value> *EnvValues);
+
+  /// enumerateMoves without the purity cleanup (the raw probe walk).
+  std::vector<Move> enumerateMovesImpl();
 
   //===--- Execution-mode scheduling ----------------------------------------===//
 

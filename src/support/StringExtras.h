@@ -42,6 +42,32 @@ inline bool isDigit(char C) { return C >= '0' && C <= '9'; }
 /// FNV-1a over a byte string; used for state hashing in the model checker.
 uint64_t fnv1aHash(const void *Data, size_t Size, uint64_t Seed = 0xcbf29ce484222325ULL);
 
+/// splitmix64 finalizer: avalanches a 64-bit value. Applied on top of
+/// FNV-1a for the model checker's hash-compaction fingerprints.
+inline uint64_t mix64(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return X;
+}
+
+/// LEB128-style variable-length encoding; the state serializer and the
+/// COLLAPSE component vectors use it to keep state vectors small.
+inline void appendVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<char>(V | 0x80));
+    V >>= 7;
+  }
+  Out.push_back(static_cast<char>(V));
+}
+
+/// Zigzag encoding for signed values fed to appendVarint.
+inline uint64_t zigzagEncode(int64_t V) {
+  return (static_cast<uint64_t>(V) << 1) ^ static_cast<uint64_t>(V >> 63);
+}
+
 /// Counts non-blank, non-comment-only lines of an ESP or C source text.
 /// Used by the lines-of-code experiment table.
 unsigned countEffectiveLines(std::string_view Text);

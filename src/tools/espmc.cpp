@@ -42,8 +42,20 @@ void printUsage() {
       "  --process <name>    verify one process's memory safety against\n"
       "                      a nondeterministic environment (section 5.3)\n"
       "  --max-states N      state bound (default 10000000)\n"
+      "  --max-depth N       search depth bound; a truncated exhaustive\n"
+      "                      search reports 'verified (partial)'\n"
       "  --max-objects N     object-table bound; exhaustion = leak\n"
-      "  --bits N            bit-state table log2 size (default 24)\n"
+      "  --visited exact|hash64|hash128\n"
+      "                      visited-state storage for exhaustive search\n"
+      "                      (default hash64: 64-bit hash compaction;\n"
+      "                      exact stores full state vectors)\n"
+      "  --collapse / --no-collapse\n"
+      "                      COLLAPSE compression of exact-mode state\n"
+      "                      vectors (default on)\n"
+      "  --snapshot-stride N keep one machine snapshot every N DFS levels\n"
+      "                      and replay moves in between (default 16)\n"
+      "  --bits N            bit-state table log2 size (default 24,\n"
+      "                      clamped to [10,28])\n"
       "  --runs N            simulation runs (default 256)\n"
       "  --no-deadlock       do not report deadlocks\n"
       "  --no-leaks          do not report unreachable live objects\n"
@@ -87,10 +99,35 @@ int main(int Argc, char **Argv) {
       ProcessName = Argv[++I];
     } else if (Arg == "--max-states" && I + 1 < Argc) {
       Mc.MaxStates = static_cast<uint64_t>(std::atoll(Argv[++I]));
+    } else if ((Arg == "--max-depth" || Arg == "--maxdepth") && I + 1 < Argc) {
+      Mc.MaxDepth = static_cast<unsigned>(std::atoi(Argv[++I]));
     } else if (Arg == "--max-objects" && I + 1 < Argc) {
       Mc.MaxObjects = static_cast<uint32_t>(std::atoi(Argv[++I]));
+    } else if (Arg == "--visited" && I + 1 < Argc) {
+      std::string Kind = Argv[++I];
+      if (Kind == "exact")
+        Mc.Visited = VisitedKind::Exact;
+      else if (Kind == "hash64")
+        Mc.Visited = VisitedKind::Hash64;
+      else if (Kind == "hash128")
+        Mc.Visited = VisitedKind::Hash128;
+      else {
+        std::fprintf(stderr, "espmc: unknown visited kind '%s'\n",
+                     Kind.c_str());
+        return 2;
+      }
+    } else if (Arg == "--collapse") {
+      Mc.Collapse = true;
+    } else if (Arg == "--no-collapse") {
+      Mc.Collapse = false;
+    } else if (Arg == "--snapshot-stride" && I + 1 < Argc) {
+      Mc.SnapshotStride = static_cast<unsigned>(std::atoi(Argv[++I]));
     } else if (Arg == "--bits" && I + 1 < Argc) {
-      Mc.BitStateBits = static_cast<unsigned>(std::atoi(Argv[++I]));
+      unsigned Bits = static_cast<unsigned>(std::atoi(Argv[++I]));
+      if (clampedBitStateBits(Bits) != Bits)
+        std::fprintf(stderr, "espmc: --bits %u out of range, clamping to %u\n",
+                     Bits, clampedBitStateBits(Bits));
+      Mc.BitStateBits = Bits;
     } else if (Arg == "--runs" && I + 1 < Argc) {
       Mc.SimulationRuns = static_cast<uint64_t>(std::atoll(Argv[++I]));
     } else if (Arg == "--no-deadlock") {

@@ -189,6 +189,285 @@ process b { in(c, $x); assert(x == 0); }
   EXPECT_EQ(R.Verdict, McVerdict::Violation) << R.report();
 }
 
+//===----------------------------------------------------------------------===//
+// Verdict and trace regressions
+//===----------------------------------------------------------------------===//
+
+TEST(ModelChecker, TraceDoesNotDuplicateFinalMove) {
+  // Deadlock exactly one move deep: the violation surfaces after
+  // enumerating the successor's moves — the path that used to push the
+  // final move twice (once via the frame label, once explicitly).
+  auto C = compile(R"(
+channel go: int
+channel c1: int
+channel c2: int
+process a { out(go, 1); out(c1, 1); in(c2, $x); }
+process b { in(go, $g); out(c2, 2); in(c1, $y); }
+)");
+  ASSERT_TRUE(C);
+  McOptions Options;
+  McResult R = checkModel(C->Module, Options);
+  EXPECT_EQ(R.Verdict, McVerdict::Violation) << R.report();
+  EXPECT_TRUE(R.Deadlock);
+  ASSERT_EQ(R.Trace.size(), 1u) << R.report();
+  ASSERT_EQ(R.TraceMoves.size(), 1u);
+  EXPECT_TRUE(replayTrace(C->Module, Options, R));
+}
+
+TEST(ModelChecker, EveryCounterexampleReplays) {
+  // Each violating model's reported trace must actually replay to the
+  // reported violation: every move enabled in sequence, final state
+  // exhibiting the error/deadlock/leak.
+  const char *Violating[] = {
+      // Assertion race.
+      R"(
+channel req: record of { ret: int }
+channel reply: record of { ret: int, v: int }
+process p1 { out(req, { @ }); in(reply, { @, $v }); }
+process p2 { out(req, { @ }); in(reply, { @, $v }); assert(false); }
+process server {
+  $n = 0;
+  while (n < 2) { in(req, { $who }); out(reply, { who, 1 }); n = n + 1; }
+}
+)",
+      // Deadlock.
+      R"(
+channel go: int
+channel c1: int
+channel c2: int
+process a { out(go, 1); out(c1, 1); in(c2, $x); }
+process b { in(go, $g); out(c2, 2); in(c1, $y); }
+)",
+      // Use after free.
+      R"(
+channel c: array of int
+process p {
+  $data: array of int = { 4 -> 7 };
+  out(c, data);
+  unlink(data);
+}
+process q {
+  in(c, $d);
+  unlink(d);
+  assert(d[0] == 7);
+}
+)",
+      // Leak.
+      R"(
+channel c: array of int
+process p {
+  $i = 0;
+  while (i < 3) {
+    $data: array of int = { 2 -> 1 };
+    out(c, data);
+    unlink(data);
+    i = i + 1;
+  }
+}
+process q {
+  $i = 0;
+  while (i < 3) { in(c, $d); i = i + 1; }
+}
+)",
+  };
+  for (const char *Source : Violating) {
+    auto C = compile(Source);
+    ASSERT_TRUE(C);
+    McOptions Options;
+    McResult R = checkModel(C->Module, Options);
+    ASSERT_EQ(R.Verdict, McVerdict::Violation) << R.report();
+    EXPECT_EQ(R.Trace.size(), R.TraceMoves.size());
+    EXPECT_TRUE(replayTrace(C->Module, Options, R))
+        << "trace does not replay:\n"
+        << R.report();
+  }
+}
+
+TEST(ModelChecker, DepthTruncationDowngradesToPartialOK) {
+  // The assertion bug needs 8 rendezvous; a depth bound of 4 hides it,
+  // and a truncated search must not claim a full proof.
+  auto C = compile(R"(
+channel c: int
+process a { $i = 0; while (i < 8) { out(c, i); i = i + 1; } }
+process b { $i = 0; while (i < 8) { in(c, $x); assert(x < 7); i = i + 1; } }
+)");
+  ASSERT_TRUE(C);
+  McOptions Shallow;
+  Shallow.MaxDepth = 4;
+  McResult R = checkModel(C->Module, Shallow);
+  EXPECT_EQ(R.Verdict, McVerdict::PartialOK) << R.report();
+  EXPECT_TRUE(R.DepthTruncated);
+  EXPECT_NE(R.report().find("max search depth too small"), std::string::npos);
+  // The same search without the bound finds the violation.
+  McOptions Full;
+  McResult R2 = checkModel(C->Module, Full);
+  EXPECT_EQ(R2.Verdict, McVerdict::Violation) << R2.report();
+  // A genuinely complete search still reports OK.
+  McOptions Deep;
+  Deep.MaxDepth = 100;
+  auto Clean = compile(R"(
+channel c: int
+process a { $i = 0; while (i < 3) { out(c, i); i = i + 1; } }
+process b { $i = 0; while (i < 3) { in(c, $x); i = i + 1; } }
+)");
+  ASSERT_TRUE(Clean);
+  McResult R3 = checkModel(Clean->Module, Deep);
+  EXPECT_EQ(R3.Verdict, McVerdict::OK) << R3.report();
+  EXPECT_FALSE(R3.DepthTruncated);
+}
+
+TEST(ModelChecker, BitStateBitsExtremesAreClamped) {
+  // --bits 2 used to allocate a 0-byte table and write out of bounds;
+  // --bits 64 used to shift by the full word width (UB). Both must be
+  // clamped to the valid range and still find the seeded bug.
+  EXPECT_EQ(clampedBitStateBits(2), MinBitStateBits);
+  EXPECT_EQ(clampedBitStateBits(64), MaxBitStateBits);
+  EXPECT_EQ(clampedBitStateBits(24), 24u);
+  auto C = compile(R"(
+channel c: int
+process a { $i = 0; while (i < 8) { out(c, i); i = i + 1; } }
+process b { $i = 0; while (i < 8) { in(c, $x); assert(x < 7); i = i + 1; } }
+)");
+  ASSERT_TRUE(C);
+  for (unsigned Bits : {2u, 64u}) {
+    McOptions Options;
+    Options.Mode = SearchMode::BitState;
+    Options.BitStateBits = Bits;
+    McResult R = checkModel(C->Module, Options);
+    EXPECT_EQ(R.Verdict, McVerdict::Violation)
+        << "bits=" << Bits << "\n"
+        << R.report();
+    EXPECT_EQ(R.Violation.Kind, RuntimeErrorKind::AssertFailed);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Visited-set / compression mode agreement
+//===----------------------------------------------------------------------===//
+
+TEST(ModelChecker, VisitedModesAgreeOnVerdictsAndCounts) {
+  const char *Models[] = {
+      // Clean terminating.
+      R"(
+channel c: int
+process a { $i = 0; while (i < 4) { out(c, i); i = i + 1; } }
+process b { $i = 0; while (i < 4) { in(c, $x); assert(x == i); i = i + 1; } }
+)",
+      // Assertion race.
+      R"(
+channel req: record of { ret: int }
+channel reply: record of { ret: int, v: int }
+process p1 { out(req, { @ }); in(reply, { @, $v }); }
+process p2 { out(req, { @ }); in(reply, { @, $v }); assert(false); }
+process server {
+  $n = 0;
+  while (n < 2) { in(req, { $who }); out(reply, { who, 1 }); n = n + 1; }
+}
+)",
+      // Heap traffic, clean.
+      R"(
+channel c: array of int
+process p {
+  $i = 0;
+  while (i < 3) {
+    $data: array of int = { 2 -> 1 };
+    out(c, data);
+    unlink(data);
+    i = i + 1;
+  }
+}
+process q {
+  $i = 0;
+  while (i < 3) { in(c, $d); unlink(d); i = i + 1; }
+}
+)",
+      // Use after free.
+      R"(
+channel c: array of int
+process p {
+  $data: array of int = { 4 -> 7 };
+  out(c, data);
+  unlink(data);
+}
+process q {
+  in(c, $d);
+  unlink(d);
+  assert(d[0] == 7);
+}
+)",
+  };
+  for (const char *Source : Models) {
+    auto C = compile(Source);
+    ASSERT_TRUE(C);
+    McOptions Base;
+    Base.Visited = VisitedKind::Exact;
+    Base.Collapse = false;
+    McResult Reference = checkModel(C->Module, Base);
+
+    struct Config {
+      const char *Name;
+      VisitedKind Visited;
+      bool Collapse;
+    } Configs[] = {
+        {"exact+collapse", VisitedKind::Exact, true},
+        {"hash64", VisitedKind::Hash64, true},
+        {"hash128", VisitedKind::Hash128, true},
+    };
+    for (const Config &Cfg : Configs) {
+      McOptions Options;
+      Options.Visited = Cfg.Visited;
+      Options.Collapse = Cfg.Collapse;
+      McResult R = checkModel(C->Module, Options);
+      EXPECT_EQ(R.Verdict, Reference.Verdict) << Cfg.Name;
+      EXPECT_EQ(R.StatesExplored, Reference.StatesExplored) << Cfg.Name;
+      EXPECT_EQ(R.StatesStored, Reference.StatesStored) << Cfg.Name;
+      EXPECT_EQ(R.Transitions, Reference.Transitions) << Cfg.Name;
+      EXPECT_EQ(R.Trace, Reference.Trace) << Cfg.Name;
+    }
+  }
+}
+
+TEST(ModelChecker, SnapshotStrideDoesNotChangeExploration) {
+  // The snapshot-free DFS re-derives states by checkpoint + replay; the
+  // exploration must be byte-identical for every stride.
+  auto C = compile(R"(
+channel c: array of int
+channel d: int
+process p {
+  $i = 0;
+  while (i < 4) {
+    $data: array of int = { 2 -> 5 };
+    out(c, data);
+    unlink(data);
+    i = i + 1;
+  }
+}
+process q {
+  $i = 0;
+  while (i < 4) { in(c, $x); out(d, x[0]); unlink(x); i = i + 1; }
+}
+process r {
+  $i = 0;
+  while (i < 4) { in(d, $v); assert(v == 5); i = i + 1; }
+}
+)");
+  ASSERT_TRUE(C);
+  McOptions Base;
+  Base.SnapshotStride = 1;
+  McResult Reference = checkModel(C->Module, Base);
+  EXPECT_EQ(Reference.Verdict, McVerdict::OK) << Reference.report();
+  for (unsigned Stride : {2u, 4u, 16u, 64u}) {
+    McOptions Options;
+    Options.SnapshotStride = Stride;
+    McResult R = checkModel(C->Module, Options);
+    EXPECT_EQ(R.Verdict, Reference.Verdict) << "stride=" << Stride;
+    EXPECT_EQ(R.StatesExplored, Reference.StatesExplored)
+        << "stride=" << Stride;
+    EXPECT_EQ(R.StatesStored, Reference.StatesStored) << "stride=" << Stride;
+    EXPECT_EQ(R.Transitions, Reference.Transitions) << "stride=" << Stride;
+  }
+}
+
 TEST(ModelChecker, StateCountsAreDeterministic) {
   auto C = compile(R"(
 channel c: int

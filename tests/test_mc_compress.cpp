@@ -1,0 +1,289 @@
+//===--- test_mc_compress.cpp - State compression tests ---------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the model checker's state-storage layer: canonical
+/// serialization, COLLAPSE component interning, and the visited-set
+/// backends (exact, hash compaction, bit-state).
+///
+//===----------------------------------------------------------------------===//
+
+#include "mc/ModelChecker.h"
+#include "mc/StateStore.h"
+#include "TestHelpers.h"
+
+#include <algorithm>
+
+using namespace esp;
+using namespace esp::test;
+
+namespace {
+
+MachineOptions verifyOptions() {
+  MachineOptions O;
+  O.MaxObjects = 256;
+  O.ReuseObjectIds = true;
+  O.DeepCopyTransfers = true;
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// StateCompressor / VisitedSet unit tests
+//===----------------------------------------------------------------------===//
+
+TEST(StateCompressor, InternsEachBlobOnce) {
+  StateCompressor C;
+  uint32_t A = C.intern("alpha");
+  uint32_t B = C.intern("beta");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(C.intern("alpha"), A);
+  EXPECT_EQ(C.intern("beta"), B);
+  EXPECT_EQ(C.intern(std::string("alp") + "ha"), A);
+  EXPECT_EQ(C.components(), 2u);
+  EXPECT_GT(C.tableBytes(), 0u);
+}
+
+TEST(VisitedSet, ExactDetectsDuplicates) {
+  VisitedSet V = VisitedSet::exact();
+  EXPECT_TRUE(V.insert("s1"));
+  EXPECT_TRUE(V.insert("s2"));
+  EXPECT_FALSE(V.insert("s1"));
+  EXPECT_EQ(V.size(), 2u);
+  EXPECT_GT(V.bytes(), 0u);
+}
+
+TEST(VisitedSet, HashCompactionDistinguishesDistinctKeys) {
+  for (bool Wide : {false, true}) {
+    VisitedSet V = VisitedSet::hashCompact(Wide);
+    for (int I = 0; I != 1000; ++I) {
+      std::string Key = "state-" + std::to_string(I);
+      EXPECT_TRUE(V.insert(Key)) << "wide=" << Wide << " i=" << I;
+      EXPECT_FALSE(V.insert(Key)) << "wide=" << Wide << " i=" << I;
+    }
+    EXPECT_EQ(V.size(), 1000u);
+    // Fingerprints are fixed-size: far cheaper than the full keys.
+    EXPECT_LT(V.bytes(), VisitedSet::exact().bytes() + 1000 * 64);
+  }
+}
+
+TEST(VisitedSet, BitStateUsesFixedTable) {
+  VisitedSet V = VisitedSet::bitState(clampedBitStateBits(10));
+  size_t TableBytes = V.bytes();
+  EXPECT_EQ(TableBytes, (1u << 10) / 8);
+  uint64_t Inserted = 0;
+  for (int I = 0; I != 200; ++I)
+    if (V.insert("state-" + std::to_string(I)))
+      ++Inserted;
+  // Tiny table: most states insert, a few may collide, memory is flat.
+  EXPECT_GT(Inserted, 150u);
+  EXPECT_EQ(V.bytes(), TableBytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical serialization and COLLAPSE components
+//===----------------------------------------------------------------------===//
+
+TEST(StateSerialization, ScratchOverloadMatchesValueReturn) {
+  auto C = compile(R"(
+channel c: array of int
+process p { $d: array of int = { 3 -> 9 }; out(c, d); unlink(d); }
+process q { in(c, $x); unlink(x); }
+)");
+  ASSERT_TRUE(C);
+  Machine M(C->Module, verifyOptions());
+  M.start();
+  std::string Scratch = "stale-contents";
+  M.serializeState(Scratch);
+  EXPECT_EQ(Scratch, M.serializeState());
+}
+
+TEST(StateSerialization, ComponentsTrackStateIdentity) {
+  auto C = compile(R"(
+channel c: array of int
+process p { $d: array of int = { 3 -> 9 }; out(c, d); unlink(d); }
+process q { in(c, $x); in(c, $y); }
+)");
+  ASSERT_TRUE(C);
+  Machine M(C->Module, verifyOptions());
+  M.start();
+
+  std::string Control1, Control2;
+  std::vector<std::string> Blobs1, Blobs2;
+  size_t N1 = M.serializeComponents(Control1, Blobs1);
+  EXPECT_GE(N1, 1u) << "p holds a live array at its block point";
+
+  // Serialization is a pure observation: repeating it is identical.
+  size_t N2 = M.serializeComponents(Control2, Blobs2);
+  ASSERT_EQ(N1, N2);
+  EXPECT_EQ(Control1, Control2);
+  for (size_t I = 0; I != N1; ++I)
+    EXPECT_EQ(Blobs1[I], Blobs2[I]) << "blob " << I;
+
+  // Advancing the machine changes the component view; restoring the
+  // snapshot restores it exactly.
+  Machine::Snapshot Snap = M.snapshot();
+  std::vector<Move> Moves = M.enumerateMoves();
+  ASSERT_FALSE(Moves.empty());
+  M.applyMove(Moves[0]);
+  std::string ControlAfter;
+  std::vector<std::string> BlobsAfter;
+  M.serializeComponents(ControlAfter, BlobsAfter);
+  EXPECT_NE(ControlAfter, Control1);
+
+  M.restore(Snap);
+  std::string ControlBack;
+  std::vector<std::string> BlobsBack;
+  size_t NBack = M.serializeComponents(ControlBack, BlobsBack);
+  ASSERT_EQ(NBack, N1);
+  EXPECT_EQ(ControlBack, Control1);
+  for (size_t I = 0; I != N1; ++I)
+    EXPECT_EQ(BlobsBack[I], Blobs1[I]) << "blob " << I;
+}
+
+TEST(StateSerialization, AllocationOrderDoesNotChangeIdentity) {
+  // Two independent transfers commute: applying them in either order
+  // reaches the same semantic state, but deep-copy allocation happens in
+  // a different order, so raw objectIds differ. The canonical
+  // serialization (and the component decomposition) must coincide.
+  auto C = compile(R"(
+channel c1: array of int
+channel c2: array of int
+channel hold1: int
+channel hold2: int
+process p1 { $d: array of int = { 2 -> 7 }; out(c1, d); unlink(d); }
+process p2 { $d: array of int = { 2 -> 9 }; out(c2, d); unlink(d); }
+process q1 { in(c1, $x); in(hold1, $h); unlink(x); }
+process q2 { in(c2, $x); in(hold2, $h); unlink(x); }
+)");
+  ASSERT_TRUE(C);
+
+  Machine A(C->Module, verifyOptions());
+  Machine B(C->Module, verifyOptions());
+  A.start();
+  B.start();
+
+  std::vector<Move> MovesA = A.enumerateMoves();
+  ASSERT_EQ(MovesA.size(), 2u) << "the two transfers are independent";
+  std::vector<Move> MovesB = B.enumerateMoves();
+  ASSERT_EQ(MovesB.size(), 2u);
+  ASSERT_TRUE(MovesA[0] == MovesB[0]);
+  ASSERT_TRUE(MovesA[1] == MovesB[1]);
+
+  // A: first then second; B: second then first.
+  A.applyMove(MovesA[0]);
+  A.applyMove(MovesA[1]);
+  B.applyMove(MovesB[1]);
+  B.applyMove(MovesB[0]);
+
+  EXPECT_EQ(A.serializeState(), B.serializeState());
+
+  std::string ControlA, ControlB;
+  std::vector<std::string> BlobsA, BlobsB;
+  size_t NA = A.serializeComponents(ControlA, BlobsA);
+  size_t NB = B.serializeComponents(ControlB, BlobsB);
+  ASSERT_EQ(NA, NB);
+  EXPECT_EQ(ControlA, ControlB);
+  for (size_t I = 0; I != NA; ++I)
+    EXPECT_EQ(BlobsA[I], BlobsB[I]) << "blob " << I;
+}
+
+TEST(StateSerialization, EnumerateMovesIsCanonicallyPure) {
+  // With sunk allocations (§6.1 lazy-out), enumerating moves prepares
+  // out values — allocating probe objects. The wrapper must undo them:
+  // the snapshot-free DFS replays moves from checkpoints and relies on
+  // enumeration not perturbing the canonical state.
+  OptOptions Opts = OptOptions::all();
+  auto C = compile(R"(
+channel c: array of int
+process p {
+  $i = 0;
+  while (i < 2) {
+    out(c, { 2 -> i });
+    i = i + 1;
+  }
+}
+process q {
+  $i = 0;
+  while (i < 2) { in(c, $x); unlink(x); i = i + 1; }
+}
+)",
+                   &Opts);
+  ASSERT_TRUE(C);
+  bool SawLazyOut = false;
+  for (const ProcIR &P : C->Module.Procs)
+    for (const Inst &I : P.Insts)
+      for (const IRCase &Case : I.Cases)
+        SawLazyOut |= Case.LazyOut;
+  EXPECT_TRUE(SawLazyOut) << "model must exercise the lazy-out path";
+
+  Machine M(C->Module, verifyOptions());
+  M.start();
+  uint32_t LiveBefore = M.heap().getLiveCount();
+  std::string Before = M.serializeState();
+  std::vector<Move> Moves = M.enumerateMoves();
+  EXPECT_FALSE(Moves.empty());
+  EXPECT_EQ(M.serializeState(), Before);
+  EXPECT_EQ(M.heap().getLiveCount(), LiveBefore);
+  // And enumeration stays repeatable after the cleanup.
+  std::vector<Move> Again = M.enumerateMoves();
+  ASSERT_EQ(Again.size(), Moves.size());
+  for (size_t I = 0; I != Moves.size(); ++I)
+    EXPECT_TRUE(Again[I] == Moves[I]);
+  EXPECT_EQ(M.serializeState(), Before);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end memory accounting
+//===----------------------------------------------------------------------===//
+
+TEST(ModelChecker, CompressionShrinksStoredStates) {
+  // A model with real heap payloads: COLLAPSE stores each object blob
+  // once and hash compaction stores only fingerprints, so both must
+  // undercut exact storage of full vectors.
+  auto C = compile(R"(
+channel c: array of int
+process p {
+  $i = 0;
+  while (i < 4) {
+    $data: array of int = { 8 -> 3 };
+    out(c, data);
+    unlink(data);
+    i = i + 1;
+  }
+}
+process q {
+  $i = 0;
+  while (i < 4) { in(c, $x); unlink(x); i = i + 1; }
+}
+)");
+  ASSERT_TRUE(C);
+
+  McOptions Exact;
+  Exact.Visited = VisitedKind::Exact;
+  Exact.Collapse = false;
+  McResult RExact = checkModel(C->Module, Exact);
+  EXPECT_EQ(RExact.Verdict, McVerdict::OK) << RExact.report();
+
+  McOptions Collapse;
+  Collapse.Visited = VisitedKind::Exact;
+  Collapse.Collapse = true;
+  McResult RCollapse = checkModel(C->Module, Collapse);
+  EXPECT_EQ(RCollapse.Verdict, McVerdict::OK) << RCollapse.report();
+  EXPECT_EQ(RCollapse.StatesStored, RExact.StatesStored);
+  // The compressed key (control bytes + component indices) is smaller
+  // than the flat vector with object contents inlined.
+  EXPECT_LT(RCollapse.CompressedStateBytes, RExact.CompressedStateBytes);
+  EXPECT_GT(RCollapse.ComponentTableBytes, 0u);
+
+  McOptions Hash;
+  Hash.Visited = VisitedKind::Hash64;
+  McResult RHash = checkModel(C->Module, Hash);
+  EXPECT_EQ(RHash.Verdict, McVerdict::OK) << RHash.report();
+  EXPECT_EQ(RHash.StatesStored, RExact.StatesStored);
+  EXPECT_LT(RHash.MemoryBytes, RExact.MemoryBytes);
+}
+
+} // namespace
