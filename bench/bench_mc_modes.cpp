@@ -37,6 +37,7 @@ namespace {
 struct JsonRow {
   std::string System;
   std::string Config;
+  unsigned Jobs = 1;
   McResult R;
 };
 
@@ -52,8 +53,8 @@ double bytesPerState(const McResult &R) {
 }
 
 void record(const std::string &System, const std::string &Config,
-            const McResult &R) {
-  JsonRows.push_back({System, Config, R});
+            const McResult &R, unsigned Jobs = 1) {
+  JsonRows.push_back({System, Config, Jobs, R});
 }
 
 void writeJson() {
@@ -68,14 +69,14 @@ void writeJson() {
     const McResult &R = Row.R;
     std::fprintf(
         Out,
-        "    {\"system\": \"%s\", \"config\": \"%s\", "
+        "    {\"system\": \"%s\", \"config\": \"%s\", \"jobs\": %u, "
         "\"states_explored\": %llu, \"states_stored\": %llu, "
         "\"transitions\": %llu, \"seconds\": %.6f, "
         "\"states_per_sec\": %.1f, \"bytes_per_state\": %.2f, "
         "\"peak_visited_bytes\": %zu, \"component_table_bytes\": %zu, "
         "\"state_vector_bytes\": %zu, \"compressed_state_bytes\": %zu, "
         "\"replayed_moves\": %llu, \"verdict\": \"%s\"}%s\n",
-        Row.System.c_str(), Row.Config.c_str(),
+        Row.System.c_str(), Row.Config.c_str(), Row.Jobs,
         static_cast<unsigned long long>(R.StatesExplored),
         static_cast<unsigned long long>(R.StatesStored),
         static_cast<unsigned long long>(R.Transitions), R.Seconds,
@@ -216,6 +217,52 @@ void runVisitedRow(const char *Label, const ModuleIR &Module,
   record(Label, Cfg.Name, R);
 }
 
+/// One parallel-scaling measurement: same search, N workers. The
+/// baseline seconds come from the Jobs=1 row so the speedup column is
+/// relative to the unchanged sequential engine.
+double runParallelRow(const char *Label, const ModuleIR &Module,
+                      const VisitedConfig &Cfg, unsigned Jobs,
+                      double BaselineSec) {
+  McOptions Options;
+  Options.Visited = Cfg.Visited;
+  Options.Collapse = Cfg.Collapse;
+  Options.MaxStates = 4'000'000;
+  Options.CheckDeadlock = false;
+  Options.Jobs = Jobs;
+  McResult R = checkModel(Module, Options);
+  double Speedup = R.Seconds > 0 && BaselineSec > 0 ? BaselineSec / R.Seconds
+                                                    : 0.0;
+  std::printf("%-28s %-15s %5u %10llu %9.3f %10.0f %8.2fx  %s\n", Label,
+              Cfg.Name, Jobs, static_cast<unsigned long long>(R.StatesStored),
+              R.Seconds, statesPerSec(R), Speedup, verdictLabel(R));
+  record(Label, std::string(Cfg.Name) + "-parallel", R, Jobs);
+  return R.Seconds;
+}
+
+/// Parallel scaling of the VMMC pageTable safety harness -- the
+/// headline states/sec measurement for `--jobs N`.
+double runVmmcParallelRow(const Program &Prog, const char *ProcName,
+                          const VisitedConfig &Cfg, unsigned Jobs,
+                          double BaselineSec) {
+  SafetyOptions Options;
+  Options.IntDomain = {0, 1};
+  Options.Mc.MaxStates = 2'000'000;
+  Options.Mc.MaxObjects = 128;
+  Options.Mc.Visited = Cfg.Visited;
+  Options.Mc.Collapse = Cfg.Collapse;
+  Options.Mc.Jobs = Jobs;
+  McResult R = verifyProcessMemorySafety(Prog, ProcName, Options);
+  double Speedup = R.Seconds > 0 && BaselineSec > 0 ? BaselineSec / R.Seconds
+                                                    : 0.0;
+  std::printf("%-28s %-15s %5u %10llu %9.3f %10.0f %8.2fx  %s\n", ProcName,
+              Cfg.Name, Jobs, static_cast<unsigned long long>(R.StatesStored),
+              R.Seconds, statesPerSec(R), Speedup,
+              R.foundViolation() ? "VIOLATION" : "SAFE");
+  record(std::string("vmmc:") + ProcName,
+         std::string(Cfg.Name) + "-parallel", R, Jobs);
+  return R.Seconds;
+}
+
 void runVmmcRow(const Program &Prog, const char *ProcName,
                 const VisitedConfig &Cfg) {
   SafetyOptions Options;
@@ -275,6 +322,29 @@ int main() {
     runVmmcRow(*Firmware, "pageTable", Cfg);
   for (const VisitedConfig &Cfg : VisitedConfigs)
     runVmmcRow(*Firmware, "userReq", Cfg);
+
+  printHeader("Table: parallel search scaling (--jobs N)");
+  std::printf("%-28s %-15s %5s %10s %9s %10s %9s  %s\n", "system", "visited",
+              "jobs", "stored", "sec", "states/s", "speedup", "verdict");
+  // A larger instance than the mode table: parallel speedup needs a
+  // state space that takes real time, or thread startup dominates.
+  // Jobs=1 is the untouched sequential engine; every parallel row must
+  // report the identical stored-state count (the determinism guarantee).
+  auto Big = compileModel(makeModel(40, /*SeedBug=*/false));
+  for (size_t I = 0; I != 3; ++I) { // exact, exact+collapse, hash64
+    const VisitedConfig &Cfg = VisitedConfigs[I];
+    double Base = runParallelRow("2 clients x 40 msgs, clean", Big->Module,
+                                 Cfg, 1, 0.0);
+    for (unsigned Jobs : {2u, 4u, 8u})
+      runParallelRow("2 clients x 40 msgs, clean", Big->Module, Cfg, Jobs,
+                     Base);
+  }
+  {
+    const VisitedConfig &Cfg = VisitedConfigs[2]; // hash64
+    double Base = runVmmcParallelRow(*Firmware, "pageTable", Cfg, 1, 0.0);
+    for (unsigned Jobs : {2u, 4u, 8u})
+      runVmmcParallelRow(*Firmware, "pageTable", Cfg, Jobs, Base);
+  }
 
   std::printf("\npaper: exhaustive explores everything; bit-state covers "
               "large spaces in\nbounded memory; randomized simulation "

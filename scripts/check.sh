@@ -3,7 +3,9 @@
 # example corpus plus the VMMC firmware (which must stay finding-free).
 #
 # Usage: scripts/check.sh [build-dir]
-#   ESP_SANITIZE=asan scripts/check.sh build-asan   # also valid: ubsan
+#   ESP_SANITIZE=asan scripts/check.sh build-asan   # also: ubsan, tsan
+# tsan is the one that matters for the parallel checker (--jobs N): it
+# races N workers over the shared visited set and work queue.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"

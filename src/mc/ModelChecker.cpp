@@ -6,6 +6,8 @@
 
 #include "mc/ModelChecker.h"
 
+#include "mc/ParallelSearch.h"
+#include "mc/SearchCommon.h"
 #include "mc/StateStore.h"
 #include "support/StringExtras.h"
 
@@ -14,6 +16,7 @@
 #include <chrono>
 #include <random>
 #include <sstream>
+#include <thread>
 
 using namespace esp;
 
@@ -49,52 +52,20 @@ public:
   }
 
 private:
+  // The state checks are shared with the parallel engine
+  // (SearchCommon.h): the determinism guarantee between --jobs 1 and
+  // --jobs N rests on both agreeing exactly on what a violation is.
   MachineOptions machineOptions() const {
-    MachineOptions MO;
-    MO.MaxObjects = Options.MaxObjects;
-    MO.ReuseObjectIds = true;
-    MO.DeepCopyTransfers = true;
-    return MO;
+    return mc_detail::verifyMachineOptions(Options);
   }
 
-  /// Checks the machine's current state for violations; fills \p Result
-  /// and returns true when one is found.
   bool checkState(Machine &M, McResult &Result) {
-    if (M.error()) {
-      Result.Verdict = McVerdict::Violation;
-      Result.Violation = M.error();
-      return true;
-    }
-    if (Options.CheckLeaks) {
-      unsigned Leaked = M.countLeakedObjects();
-      if (Leaked > 0) {
-        Result.Verdict = McVerdict::Violation;
-        Result.LeakedObjects = Leaked;
-        Result.Violation.Kind = RuntimeErrorKind::OutOfObjects;
-        Result.Violation.Message =
-            std::to_string(Leaked) + " object(s) leaked (live but "
-                                     "unreachable from any process)";
-        return true;
-      }
-    }
-    return false;
+    return mc_detail::checkStateViolation(M, Options, Result);
   }
 
   bool checkDeadlock(Machine &M, const std::vector<Move> &Moves,
                      McResult &Result) {
-    if (!Options.CheckDeadlock || !Moves.empty() || M.error())
-      return false;
-    bool AnyBlocked = false;
-    for (unsigned I = 0, E = M.numProcesses(); I != E; ++I)
-      AnyBlocked |= M.proc(I).St == ProcState::Status::Blocked;
-    if (!AnyBlocked)
-      return false; // All processes finished: normal termination.
-    Result.Verdict = McVerdict::Violation;
-    Result.Deadlock = true;
-    Result.Violation.Kind = RuntimeErrorKind::None;
-    Result.Violation.Message = "deadlock: blocked processes with no "
-                               "enabled move";
-    return true;
+    return mc_detail::checkDeadlockViolation(M, Moves, Options, Result);
   }
 
   //===--- Exhaustive / bit-state DFS --------------------------------------===//
@@ -343,8 +314,15 @@ private:
 } // namespace
 
 McResult esp::checkModel(const ModuleIR &Module, const McOptions &Options) {
-  Search S(Module, Options);
-  return S.run();
+  unsigned Jobs = Options.Jobs != 0
+                      ? Options.Jobs
+                      : std::max(1u, std::thread::hardware_concurrency());
+  if (Jobs <= 1) {
+    // --jobs 1: the sequential engine, untouched — zero regression risk.
+    Search S(Module, Options);
+    return S.run();
+  }
+  return runParallelSearch(Module, Options, Jobs);
 }
 
 bool esp::replayTrace(const ModuleIR &Module, const McOptions &Options,
@@ -410,6 +388,13 @@ std::string McResult::report() const {
   OS << Transitions << " transitions\n";
   if (ReplayedMoves)
     OS << ReplayedMoves << " moves replayed (checkpoint restore)\n";
+  if (JobsUsed > 1) {
+    OS << JobsUsed << " workers (";
+    for (size_t I = 0; I != WorkerExplored.size(); ++I)
+      OS << (I ? " " : "") << WorkerExplored[I];
+    OS << " states each), " << SharedWorkItems
+       << " work item(s) shared\n";
+  }
   OS << "memory usage (visited set): " << (MemoryBytes / 1024.0 / 1024.0)
      << " Mbyte";
   if (ComponentTableBytes)

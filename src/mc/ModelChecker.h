@@ -75,8 +75,24 @@ struct McOptions {
   uint64_t SimulationRuns = 256;
   unsigned SimulationDepth = 4096;
   uint64_t Seed = 0x9e3779b97f4a7c15ULL;
-  /// Environment model for open programs (not owned).
-  EnvModel *Env = nullptr;
+  /// Worker threads. 1 = the sequential engine (unchanged code path);
+  /// 0 = hardware concurrency. N > 1 runs the parallel engine: N
+  /// Machines over the shared read-only ModuleIR, disjoint subtrees
+  /// handed out as (snapshot, move-prefix) work items with
+  /// work-stealing, and a concurrent visited set. For completed
+  /// exhaustive searches the verdict and StatesStored/StatesExplored/
+  /// Transitions are identical to Jobs == 1.
+  unsigned Jobs = 1;
+  /// Swarm verification (BitState mode with Jobs > 1 only): instead of
+  /// one cooperative search, each worker runs an independent full
+  /// search with its own hash seed and randomized move order; coverage
+  /// is the union of the workers' (SPIN's swarm). StatesStored then
+  /// reports the union estimate from a shared seed-0 bit table.
+  bool Swarm = false;
+  /// Environment model for open programs (not owned). Shared read-only
+  /// across worker Machines when Jobs > 1, so implementations must be
+  /// thread-safe for const calls (BoundedEnvModel is).
+  const EnvModel *Env = nullptr;
 };
 
 enum class McVerdict : uint8_t {
@@ -103,6 +119,13 @@ struct McResult {
   size_t MemoryBytes = 0;        ///< Visited set + component table memory.
   uint64_t ReplayedMoves = 0;    ///< Moves re-applied restoring checkpoints.
   double Seconds = 0.0;
+
+  // Parallel-search accounting (JobsUsed == 1 for the sequential engine).
+  unsigned JobsUsed = 1;
+  /// States explored per worker (empty for the sequential engine).
+  std::vector<uint64_t> WorkerExplored;
+  /// Work items handed off between workers (work-stealing traffic).
+  uint64_t SharedWorkItems = 0;
 
   // Violation details.
   RuntimeError Violation;

@@ -1,0 +1,707 @@
+//===--- ParallelSearch.cpp - Multi-core model-checking engine -------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mc/ParallelSearch.h"
+
+#include "mc/SearchCommon.h"
+#include "mc/StateStore.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <random>
+#include <thread>
+
+using namespace esp;
+using namespace esp::mc_detail;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Work items and the shared queue
+//===----------------------------------------------------------------------===//
+
+/// One unexplored subtree: a full machine snapshot of its root state
+/// (already counted and inserted into the visited set by whoever
+/// discovered it) plus the move path from the search root, kept for
+/// counterexample traces, and the per-level move indices, kept for the
+/// deterministic violation tie-break.
+struct WorkItem {
+  Machine::Snapshot Snap;
+  std::vector<Move> Path;
+  std::vector<uint32_t> Index;
+};
+
+/// MPMC queue of work items with completion tracking: Outstanding
+/// counts items queued plus items being processed, so pop() can return
+/// "all done" exactly when the whole tree is explored.
+class WorkQueue {
+public:
+  explicit WorkQueue(size_t LowWaterMark) : LowWater(LowWaterMark) {}
+
+  void push(WorkItem Item) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Items.push_back(std::move(Item));
+      ++Outstanding;
+      ++Pushes;
+      Approx.store(Items.size(), std::memory_order_relaxed);
+    }
+    CV.notify_one();
+  }
+
+  /// Blocks until an item is available, every item is done, or the
+  /// search was stopped. Returns false in the latter two cases.
+  bool pop(WorkItem &Out) {
+    std::unique_lock<std::mutex> Lock(M);
+    CV.wait(Lock,
+            [&] { return Stopped || !Items.empty() || Outstanding == 0; });
+    if (Stopped || Items.empty())
+      return false;
+    Out = std::move(Items.front());
+    Items.pop_front();
+    Approx.store(Items.size(), std::memory_order_relaxed);
+    return true;
+  }
+
+  /// The subtree of a popped item is fully explored.
+  void taskDone() {
+    std::lock_guard<std::mutex> Lock(M);
+    if (--Outstanding == 0)
+      CV.notify_all();
+  }
+
+  /// Violation or state limit: wake every blocked worker to exit.
+  void stopAll() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Stopped = true;
+    }
+    CV.notify_all();
+  }
+
+  /// Cheap hint for the offload heuristic (racy by design).
+  bool hungry() const {
+    return Approx.load(std::memory_order_relaxed) < LowWater;
+  }
+
+  /// Total items ever pushed; read after the workers joined.
+  uint64_t pushes() const { return Pushes; }
+
+private:
+  mutable std::mutex M;
+  std::condition_variable CV;
+  std::deque<WorkItem> Items;
+  size_t Outstanding = 0;
+  uint64_t Pushes = 0;
+  bool Stopped = false;
+  std::atomic<size_t> Approx{0};
+  size_t LowWater;
+};
+
+//===----------------------------------------------------------------------===//
+// First-violation slot
+//===----------------------------------------------------------------------===//
+
+/// Collects violation candidates from the workers; the winner is the
+/// lexicographically smallest move-index path (an ancestor beats its
+/// descendants, a left sibling beats a right one) — i.e. the candidate
+/// the sequential DFS would have reported first, among those found
+/// before the stop flag propagated.
+class ViolationSlot {
+public:
+  void offer(const McResult &V, std::vector<Move> Moves,
+             std::vector<uint32_t> Index, const ModuleIR &Module) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Found &&
+        !std::lexicographical_compare(Index.begin(), Index.end(),
+                                      BestIndex.begin(), BestIndex.end()))
+      return;
+    Found = true;
+    BestIndex = std::move(Index);
+    Best = V;
+    Best.TraceMoves = std::move(Moves);
+    Best.Trace.clear();
+    for (const Move &Mv : Best.TraceMoves)
+      Best.Trace.push_back(Mv.str(Module));
+  }
+
+  bool found() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Found;
+  }
+
+  /// Merges the winning violation into \p Result; call after join.
+  void mergeInto(McResult &Result) const {
+    Result.Verdict = McVerdict::Violation;
+    Result.Violation = Best.Violation;
+    Result.Deadlock = Best.Deadlock;
+    Result.LeakedObjects = Best.LeakedObjects;
+    Result.Trace = Best.Trace;
+    Result.TraceMoves = Best.TraceMoves;
+  }
+
+private:
+  mutable std::mutex M;
+  bool Found = false;
+  std::vector<uint32_t> BestIndex;
+  McResult Best;
+};
+
+//===----------------------------------------------------------------------===//
+// Worker state
+//===----------------------------------------------------------------------===//
+
+struct WorkerStats {
+  uint64_t Explored = 0;
+  uint64_t Stored = 0;
+  uint64_t Transitions = 0;
+  uint64_t Replayed = 0;
+  size_t MaxDepthReached = 0;
+  bool DepthTruncated = false;
+};
+
+/// Everything a worker thread owns: its Machine over the shared
+/// read-only module, scratch buffers for key construction, counters.
+struct WorkerCtx {
+  Machine M;
+  WorkerStats Stats;
+  std::mt19937_64 Rng; // Swarm move-order shuffling only.
+  std::string Raw;
+  std::string Control;
+  std::string Key;
+  std::vector<std::string> Blobs;
+
+  WorkerCtx(const ModuleIR &Module, const MachineOptions &MO,
+            const EnvModel *Env)
+      : M(Module, MO) {
+    M.setEnvModel(Env);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// The cooperative parallel DFS
+//===----------------------------------------------------------------------===//
+
+class ParallelDfs {
+public:
+  ParallelDfs(const ModuleIR &Module, const McOptions &Options, unsigned Jobs)
+      : Module(Module), Options(Options), Jobs(Jobs),
+        MO(verifyMachineOptions(Options)),
+        Stride(std::max(1u, Options.SnapshotStride)),
+        UseCollapse(Options.Collapse &&
+                    Options.Mode != SearchMode::BitState &&
+                    Options.Visited == VisitedKind::Exact),
+        Queue(/*LowWaterMark=*/2 * Jobs) {}
+
+  McResult run();
+  McResult runSwarm();
+
+private:
+  ConcurrentVisitedSet makeVisited(uint64_t BitSeed) const {
+    if (Options.Mode == SearchMode::BitState)
+      return ConcurrentVisitedSet::bitState(
+          clampedBitStateBits(Options.BitStateBits), BitSeed);
+    if (Options.Visited == VisitedKind::Exact)
+      return ConcurrentVisitedSet::exact();
+    return ConcurrentVisitedSet::hashCompact(Options.Visited ==
+                                             VisitedKind::Hash128);
+  }
+
+  /// Visited-set key of W's current machine state: the flat canonical
+  /// vector, or control bytes + interned component indices (COLLAPSE).
+  std::string_view makeKey(WorkerCtx &W) {
+    if (!UseCollapse) {
+      W.M.serializeState(W.Raw);
+      return W.Raw;
+    }
+    size_t NumObjects = W.M.serializeComponents(W.Control, W.Blobs);
+    W.Key = W.Control;
+    for (size_t I = 0; I != NumObjects; ++I)
+      appendVarint(W.Key, Compressor.intern(W.Blobs[I]));
+    return W.Key;
+  }
+
+  void processItem(WorkerCtx &W, const WorkItem &Item,
+                   ConcurrentVisitedSet &Visited, bool AllowOffload,
+                   bool Shuffle, ConcurrentVisitedSet *UnionTable);
+  void workerMain(unsigned Wid, ConcurrentVisitedSet &Visited);
+  void aggregate(McResult &Result, const std::vector<WorkerStats> &Stats);
+
+  const ModuleIR &Module;
+  const McOptions &Options;
+  const unsigned Jobs;
+  const MachineOptions MO;
+  const unsigned Stride;
+  const bool UseCollapse;
+
+  WorkQueue Queue;
+  ViolationSlot Slot;
+  ConcurrentStateCompressor Compressor;
+  std::vector<WorkerStats> Done;
+  std::atomic<uint64_t> GlobalExplored{0};
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> LimitHit{false};
+};
+
+/// One DFS level (same shape as the sequential engine, plus the move
+/// index for the deterministic tie-break).
+struct Frame {
+  Move Taken;
+  uint32_t TakenIndex = 0;
+  std::vector<Move> Moves;
+  size_t NextMove = 0;
+};
+
+struct Checkpoint {
+  size_t Depth;
+  Machine::Snapshot Snap;
+};
+
+void ParallelDfs::processItem(WorkerCtx &W, const WorkItem &Item,
+                              ConcurrentVisitedSet &Visited,
+                              bool AllowOffload, bool Shuffle,
+                              ConcurrentVisitedSet *UnionTable) {
+  Machine &M = W.M;
+  M.restore(Item.Snap);
+  const size_t BaseDepth = Item.Path.size();
+
+  std::vector<Frame> Stack;
+  std::vector<Checkpoint> Checkpoints;
+  constexpr size_t Dirty = SIZE_MAX;
+  size_t MachineAt = Dirty;
+
+  // Builds the move path / index path from the item prefix plus the
+  // local stack (and optionally the final move).
+  auto fullPath = [&](const Move *Final, uint32_t FinalIndex,
+                      std::vector<Move> &Moves, std::vector<uint32_t> &Idx) {
+    Moves = Item.Path;
+    Idx = Item.Index;
+    for (size_t I = 1; I < Stack.size(); ++I) {
+      Moves.push_back(Stack[I].Taken);
+      Idx.push_back(Stack[I].TakenIndex);
+    }
+    if (Final) {
+      Moves.push_back(*Final);
+      Idx.push_back(FinalIndex);
+    }
+  };
+
+  auto reportViolation = [&](const McResult &V, const Move *Final,
+                             uint32_t FinalIndex) {
+    std::vector<Move> Moves;
+    std::vector<uint32_t> Idx;
+    fullPath(Final, FinalIndex, Moves, Idx);
+    Slot.offer(V, std::move(Moves), std::move(Idx), Module);
+    Stop.store(true, std::memory_order_release);
+    Queue.stopAll();
+  };
+
+  // Expand the item's root state. Its violation/leak check was done by
+  // the worker that discovered (and inserted) it; the enumeration-fault
+  // and deadlock checks belong to expansion, so they happen here.
+  {
+    Frame Root;
+    Root.Moves = M.enumerateMoves();
+    if (Shuffle)
+      std::shuffle(Root.Moves.begin(), Root.Moves.end(), W.Rng);
+    McResult V;
+    if (M.error() ? checkStateViolation(M, Options, V)
+                  : checkDeadlockViolation(M, Root.Moves, Options, V)) {
+      reportViolation(V, nullptr, 0);
+      return;
+    }
+    Stack.push_back(std::move(Root));
+    Checkpoints.push_back({0, M.snapshot()});
+    MachineAt = 0;
+    W.Stats.MaxDepthReached =
+        std::max(W.Stats.MaxDepthReached, BaseDepth + 1);
+  }
+
+  auto restoreToTop = [&]() {
+    size_t Target = Stack.size() - 1;
+    if (MachineAt == Target)
+      return;
+    const Checkpoint &C = Checkpoints.back();
+    assert(C.Depth <= Target && "checkpoint deeper than target frame");
+    M.restore(C.Snap);
+    for (size_t I = C.Depth + 1; I <= Target; ++I) {
+      assert(!M.error() && "replayed a previously clean path into error");
+      M.applyMove(Stack[I].Taken);
+      ++W.Stats.Replayed;
+    }
+    MachineAt = Target;
+  };
+
+  // Offload heuristic: hand a fresh subtree to the shared queue only
+  // when other workers are hungry AND this worker keeps enough local
+  // reserve — a narrow tree should run at pure local-DFS speed.
+  auto haveLocalReserve = [&]() {
+    size_t Reserve = 0;
+    for (size_t I = Stack.size(); I-- > 0;) {
+      Reserve += Stack[I].Moves.size() - Stack[I].NextMove;
+      if (Reserve > 4)
+        return true;
+    }
+    return false;
+  };
+
+  while (!Stack.empty()) {
+    if (Stop.load(std::memory_order_relaxed))
+      return;
+    Frame &Top = Stack.back();
+    if (Top.NextMove >= Top.Moves.size()) {
+      Stack.pop_back();
+      while (!Checkpoints.empty() &&
+             Checkpoints.back().Depth >= Stack.size())
+        Checkpoints.pop_back();
+      if (MachineAt != Dirty && MachineAt >= Stack.size())
+        MachineAt = Dirty;
+      continue;
+    }
+    if (GlobalExplored.load(std::memory_order_relaxed) >=
+        Options.MaxStates) {
+      LimitHit.store(true, std::memory_order_relaxed);
+      Stop.store(true, std::memory_order_release);
+      Queue.stopAll();
+      return;
+    }
+    Move Chosen = Top.Moves[Top.NextMove];
+    uint32_t ChosenIndex = static_cast<uint32_t>(Top.NextMove);
+    ++Top.NextMove;
+    restoreToTop();
+    M.applyMove(Chosen);
+    MachineAt = Dirty;
+    ++W.Stats.Transitions;
+    ++W.Stats.Explored;
+    GlobalExplored.fetch_add(1, std::memory_order_relaxed);
+    {
+      McResult V;
+      if (checkStateViolation(M, Options, V)) {
+        reportViolation(V, &Chosen, ChosenIndex);
+        return;
+      }
+    }
+    std::string_view Key = makeKey(W);
+    if (!Visited.insert(Key))
+      continue;
+    ++W.Stats.Stored;
+    if (UnionTable)
+      UnionTable->insert(Key);
+    if (BaseDepth + Stack.size() >= Options.MaxDepth) {
+      // Depth-bounded prune: the subtree below this state is not
+      // explored, so an error-free search is only PartialOK.
+      W.Stats.DepthTruncated = true;
+      continue;
+    }
+    if (AllowOffload && Queue.hungry() && haveLocalReserve()) {
+      WorkItem Child;
+      Child.Snap = M.snapshot();
+      std::vector<Move> Moves;
+      std::vector<uint32_t> Idx;
+      fullPath(&Chosen, ChosenIndex, Moves, Idx);
+      Child.Path = std::move(Moves);
+      Child.Index = std::move(Idx);
+      Queue.push(std::move(Child));
+      continue;
+    }
+    Frame Next;
+    Next.Taken = Chosen;
+    Next.TakenIndex = ChosenIndex;
+    Next.Moves = M.enumerateMoves();
+    if (Shuffle)
+      std::shuffle(Next.Moves.begin(), Next.Moves.end(), W.Rng);
+    // Enumeration itself can fault (ambiguous dispatch, object-table
+    // exhaustion while probing); leaks cannot appear here, so only the
+    // error needs rechecking.
+    McResult V;
+    if (M.error() ? checkStateViolation(M, Options, V)
+                  : checkDeadlockViolation(M, Next.Moves, Options, V)) {
+      reportViolation(V, &Chosen, ChosenIndex);
+      return;
+    }
+    Stack.push_back(std::move(Next));
+    MachineAt = Stack.size() - 1;
+    if (MachineAt % Stride == 0)
+      Checkpoints.push_back({MachineAt, M.snapshot()});
+    W.Stats.MaxDepthReached =
+        std::max(W.Stats.MaxDepthReached, BaseDepth + Stack.size());
+  }
+}
+
+void ParallelDfs::workerMain(unsigned Wid, ConcurrentVisitedSet &Visited) {
+  WorkerCtx W(Module, MO, Options.Env);
+  WorkItem Item;
+  while (Queue.pop(Item)) {
+    processItem(W, Item, Visited, /*AllowOffload=*/true,
+                /*Shuffle=*/false, /*UnionTable=*/nullptr);
+    Queue.taskDone();
+  }
+  Done[Wid] = W.Stats;
+}
+
+void ParallelDfs::aggregate(McResult &Result,
+                            const std::vector<WorkerStats> &Stats) {
+  Result.JobsUsed = Jobs;
+  for (const WorkerStats &S : Stats) {
+    Result.StatesExplored += S.Explored;
+    Result.StatesStored += S.Stored;
+    Result.Transitions += S.Transitions;
+    Result.ReplayedMoves += S.Replayed;
+    Result.DepthTruncated |= S.DepthTruncated;
+    Result.MaxDepthReached = std::max(
+        Result.MaxDepthReached, static_cast<unsigned>(S.MaxDepthReached));
+    Result.WorkerExplored.push_back(S.Explored);
+  }
+}
+
+McResult ParallelDfs::run() {
+  McResult Result;
+  ConcurrentVisitedSet Visited = makeVisited(/*BitSeed=*/0);
+
+  // Root state: counted and checked on the calling thread, exactly like
+  // the sequential engine, then handed to the workers as the first item.
+  WorkerCtx Root(Module, MO, Options.Env);
+  Machine &M = Root.M;
+  M.start();
+  M.serializeState(Root.Raw);
+  Result.StateVectorBytes = Root.Raw.size();
+  ++Result.StatesExplored;
+  GlobalExplored.store(1, std::memory_order_relaxed);
+  if (checkStateViolation(M, Options, Result)) {
+    Result.MemoryBytes = Visited.bytes();
+    return Result;
+  }
+  {
+    std::string_view RootKey = makeKey(Root);
+    Result.CompressedStateBytes = RootKey.size();
+    Visited.insert(RootKey);
+  }
+  ++Result.StatesStored;
+
+  WorkItem RootItem;
+  RootItem.Snap = M.snapshot();
+  Queue.push(std::move(RootItem));
+
+  Done.assign(Jobs, WorkerStats());
+  std::vector<std::thread> Threads;
+  Threads.reserve(Jobs);
+  for (unsigned Wid = 0; Wid != Jobs; ++Wid)
+    Threads.emplace_back([this, Wid, &Visited] { workerMain(Wid, Visited); });
+  for (std::thread &T : Threads)
+    T.join();
+
+  aggregate(Result, Done);
+  Result.SharedWorkItems = Queue.pushes() - 1; // Minus the root item.
+  if (Slot.found())
+    Slot.mergeInto(Result);
+  else if (LimitHit.load(std::memory_order_relaxed))
+    Result.Verdict = McVerdict::StateLimit;
+  else
+    Result.Verdict = Options.Mode == SearchMode::Exhaustive &&
+                             !Result.DepthTruncated
+                         ? McVerdict::OK
+                         : McVerdict::PartialOK;
+  Result.ComponentTableBytes = Compressor.tableBytes();
+  Result.MemoryBytes = Visited.bytes() + Compressor.tableBytes();
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Swarm bit-state: independent seeded searches, union coverage
+//===----------------------------------------------------------------------===//
+
+McResult ParallelDfs::runSwarm() {
+  McResult Result;
+  assert(Options.Mode == SearchMode::BitState && "swarm is bit-state only");
+  const unsigned Bits = clampedBitStateBits(Options.BitStateBits);
+
+  // The shared seed-0 table estimates the union of the workers'
+  // coverage (and matches the table the sequential engine would use).
+  ConcurrentVisitedSet UnionTable = ConcurrentVisitedSet::bitState(Bits, 0);
+
+  WorkerCtx Root(Module, MO, Options.Env);
+  Machine &M = Root.M;
+  M.start();
+  M.serializeState(Root.Raw);
+  Result.StateVectorBytes = Root.Raw.size();
+  ++Result.StatesExplored;
+  GlobalExplored.store(1, std::memory_order_relaxed);
+  if (checkStateViolation(M, Options, Result)) {
+    Result.MemoryBytes = UnionTable.bytes();
+    return Result;
+  }
+  {
+    std::string_view RootKey = makeKey(Root);
+    Result.CompressedStateBytes = RootKey.size();
+    UnionTable.insert(RootKey);
+  }
+  Machine::Snapshot RootSnap = M.snapshot();
+
+  Done.assign(Jobs, WorkerStats());
+  std::vector<std::thread> Threads;
+  Threads.reserve(Jobs);
+  for (unsigned Wid = 0; Wid != Jobs; ++Wid) {
+    Threads.emplace_back([this, Wid, Bits, &UnionTable, &RootSnap] {
+      // Worker 0 reproduces the sequential search (seed 0, canonical
+      // move order); the rest randomize both the hash slice and the
+      // traversal order, SPIN-swarm style.
+      uint64_t BitSeed =
+          Wid == 0 ? 0
+                   : mix64(Options.Seed ^ (0x9e3779b97f4a7c15ULL * Wid));
+      ConcurrentVisitedSet Own = ConcurrentVisitedSet::bitState(Bits, BitSeed);
+      WorkerCtx W(Module, MO, Options.Env);
+      W.Rng.seed(mix64(Options.Seed + Wid));
+      // Insert the root into the private table so the collision
+      // behavior matches a standalone search with this seed.
+      W.M.restore(RootSnap);
+      Own.insert(makeKey(W));
+      WorkItem RootItem;
+      RootItem.Snap = RootSnap;
+      processItem(W, RootItem, Own, /*AllowOffload=*/false,
+                  /*Shuffle=*/Wid != 0, &UnionTable);
+      Done[Wid] = W.Stats;
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  aggregate(Result, Done);
+  // For swarm, StatesStored reports the union coverage estimate: the
+  // per-worker stored counts overlap heavily and are kept in
+  // WorkerExplored/report() instead.
+  Result.StatesStored = UnionTable.size();
+  if (Slot.found())
+    Slot.mergeInto(Result);
+  else if (LimitHit.load(std::memory_order_relaxed))
+    Result.Verdict = McVerdict::StateLimit;
+  else
+    Result.Verdict = McVerdict::PartialOK; // Bit-state is always partial.
+  Result.MemoryBytes = UnionTable.bytes() * (1 + Jobs);
+  return Result;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Parallel simulation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+McResult runParallelSimulation(const ModuleIR &Module,
+                               const McOptions &Options, unsigned Jobs) {
+  McResult Result;
+  const MachineOptions MO = verifyMachineOptions(Options);
+  ViolationSlot Slot;
+  std::atomic<bool> Stop{false};
+  std::vector<WorkerStats> Stats(Jobs);
+  std::atomic<size_t> RootVectorBytes{0};
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Jobs);
+  for (unsigned Wid = 0; Wid != Jobs; ++Wid) {
+    Threads.emplace_back([&, Wid] {
+      WorkerStats &S = Stats[Wid];
+      // Runs are partitioned round-robin; each run's seed is derived
+      // from McOptions::Seed and the run index, so the walk a given run
+      // takes does not depend on which worker executes it.
+      for (uint64_t Run = Wid; Run < Options.SimulationRuns; Run += Jobs) {
+        if (Stop.load(std::memory_order_relaxed))
+          return;
+        std::mt19937_64 Rng(
+            mix64(Options.Seed ^ (0x9e3779b97f4a7c15ULL * (Run + 1))));
+        Machine M(Module, MO);
+        M.setEnvModel(Options.Env);
+        M.start();
+        if (Run == 0)
+          RootVectorBytes.store(M.serializeState().size(),
+                                std::memory_order_relaxed);
+        std::vector<Move> TraceMoves;
+        auto reportViolation = [&](const McResult &V) {
+          Slot.offer(V, TraceMoves,
+                     {static_cast<uint32_t>(Run)}, Module);
+          Stop.store(true, std::memory_order_release);
+        };
+        for (unsigned Depth = 0; Depth != Options.SimulationDepth; ++Depth) {
+          ++S.Explored;
+          McResult V;
+          if (checkStateViolation(M, Options, V)) {
+            reportViolation(V);
+            return;
+          }
+          std::vector<Move> Moves = M.enumerateMoves();
+          if (M.error() ? checkStateViolation(M, Options, V)
+                        : checkDeadlockViolation(M, Moves, Options, V)) {
+            reportViolation(V);
+            return;
+          }
+          if (Moves.empty())
+            break; // Normal termination.
+          const Move &Chosen =
+              Moves[std::uniform_int_distribution<size_t>(
+                  0, Moves.size() - 1)(Rng)];
+          TraceMoves.push_back(Chosen);
+          M.applyMove(Chosen);
+          ++S.Transitions;
+          S.MaxDepthReached = std::max<size_t>(S.MaxDepthReached, Depth + 1);
+        }
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  Result.JobsUsed = Jobs;
+  for (const WorkerStats &S : Stats) {
+    Result.StatesExplored += S.Explored;
+    Result.Transitions += S.Transitions;
+    Result.MaxDepthReached = std::max(
+        Result.MaxDepthReached, static_cast<unsigned>(S.MaxDepthReached));
+    Result.WorkerExplored.push_back(S.Explored);
+  }
+  Result.StateVectorBytes = RootVectorBytes.load(std::memory_order_relaxed);
+  if (Slot.found())
+    Slot.mergeInto(Result);
+  else
+    Result.Verdict = McVerdict::PartialOK;
+  return Result;
+}
+
+} // namespace
+
+McResult esp::runParallelSearch(const ModuleIR &Module,
+                                const McOptions &Options, unsigned Jobs) {
+  assert(Jobs >= 2 && "the sequential engine handles Jobs <= 1");
+  auto Start = std::chrono::steady_clock::now();
+  McResult Result;
+  switch (Options.Mode) {
+  case SearchMode::Simulation:
+    Result = runParallelSimulation(Module, Options, Jobs);
+    break;
+  case SearchMode::BitState:
+    if (Options.Swarm) {
+      ParallelDfs Engine(Module, Options, Jobs);
+      Result = Engine.runSwarm();
+      break;
+    }
+    [[fallthrough]];
+  case SearchMode::Exhaustive: {
+    ParallelDfs Engine(Module, Options, Jobs);
+    Result = Engine.run();
+    break;
+  }
+  }
+  Result.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Result;
+}

@@ -1,0 +1,48 @@
+//===--- ParallelSearch.h - Multi-core model-checking engine ----*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel search engine behind `espmc --jobs N` (SPIN's multicore
+/// and swarm modes). N workers each own a private Machine built from the
+/// shared read-only ModuleIR and explore disjoint subtrees handed out as
+/// (checkpoint snapshot, move-prefix) work items — the representation
+/// the snapshot-stride replay already produces — with work-stealing when
+/// a worker's local stack drains. Visited-state storage is the
+/// concurrent sharded backends of StateStore.h, whose fingerprints match
+/// the sequential ones bit-for-bit, so a completed exhaustive search
+/// reports the identical verdict and identical StatesStored /
+/// StatesExplored / Transitions as the sequential engine.
+///
+/// Three parallel modes:
+///  * exhaustive/bit-state: one cooperative search over a shared
+///    visited set; the first violation wins, ties broken
+///    deterministically by DFS order (lexicographically smallest
+///    move-index path among the candidates found before the stop
+///    propagates);
+///  * swarm (bit-state only): independent full searches per worker with
+///    distinct hash seeds and randomized move order; coverage is the
+///    union of the workers';
+///  * simulation: runs partitioned across workers, per-run seeds
+///    derived from McOptions::Seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_MC_PARALLELSEARCH_H
+#define ESP_MC_PARALLELSEARCH_H
+
+#include "mc/ModelChecker.h"
+
+namespace esp {
+
+/// Runs the parallel engine with \p Jobs >= 2 workers. Called by
+/// checkModel(); `--jobs 1` never reaches this (the sequential code
+/// path is kept intact).
+McResult runParallelSearch(const ModuleIR &Module, const McOptions &Options,
+                           unsigned Jobs);
+
+} // namespace esp
+
+#endif // ESP_MC_PARALLELSEARCH_H

@@ -52,7 +52,7 @@ uint64_t BoundedEnvModel::countVariants(const Type *T) const {
   return 1;
 }
 
-unsigned BoundedEnvModel::numVariants(const ChannelDecl *Chan) {
+unsigned BoundedEnvModel::numVariants(const ChannelDecl *Chan) const {
   if (!Driven.count(Chan->Name))
     return 0;
   return static_cast<unsigned>(countVariants(Chan->ElemType));
@@ -111,7 +111,7 @@ Value BoundedEnvModel::buildVariant(const Type *T, uint64_t Index,
 }
 
 Value BoundedEnvModel::makeVariant(const ChannelDecl *Chan, unsigned Index,
-                                   Heap &H) {
+                                   Heap &H) const {
   return buildVariant(Chan->ElemType, Index, H);
 }
 

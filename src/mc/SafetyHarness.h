@@ -40,9 +40,9 @@ public:
       : Driven(std::move(DrivenChannels)), IntDomain(std::move(IntDomain)),
         ArrayLen(ArrayLen) {}
 
-  unsigned numVariants(const ChannelDecl *Chan) override;
+  unsigned numVariants(const ChannelDecl *Chan) const override;
   Value makeVariant(const ChannelDecl *Chan, unsigned Index,
-                    Heap &H) override;
+                    Heap &H) const override;
 
   /// Size of the value space of \p T under this domain (saturates at
   /// 1<<20 to keep enumeration sane).

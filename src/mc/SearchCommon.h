@@ -1,0 +1,85 @@
+//===--- SearchCommon.h - Shared search-engine helpers ----------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal helpers shared by the sequential (ModelChecker.cpp) and
+/// parallel (ParallelSearch.cpp) search engines. The two engines must
+/// agree exactly on what counts as a violation for the determinism
+/// guarantee (--jobs N reports the --jobs 1 verdict on completed
+/// searches), so the state checks live here, once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_MC_SEARCHCOMMON_H
+#define ESP_MC_SEARCHCOMMON_H
+
+#include "mc/ModelChecker.h"
+
+#include <string>
+#include <vector>
+
+namespace esp {
+namespace mc_detail {
+
+/// Machine configuration for verification mode: deep-copy transfers
+/// (the paper's semantic model) over a bounded object table.
+inline MachineOptions verifyMachineOptions(const McOptions &Options) {
+  MachineOptions MO;
+  MO.MaxObjects = Options.MaxObjects;
+  MO.ReuseObjectIds = true;
+  MO.DeepCopyTransfers = true;
+  return MO;
+}
+
+/// Checks the machine's current state for violations (runtime error or
+/// leaked objects); fills \p Result's violation fields and returns true
+/// when one is found.
+inline bool checkStateViolation(Machine &M, const McOptions &Options,
+                                McResult &Result) {
+  if (M.error()) {
+    Result.Verdict = McVerdict::Violation;
+    Result.Violation = M.error();
+    return true;
+  }
+  if (Options.CheckLeaks) {
+    unsigned Leaked = M.countLeakedObjects();
+    if (Leaked > 0) {
+      Result.Verdict = McVerdict::Violation;
+      Result.LeakedObjects = Leaked;
+      Result.Violation.Kind = RuntimeErrorKind::OutOfObjects;
+      Result.Violation.Message =
+          std::to_string(Leaked) + " object(s) leaked (live but "
+                                   "unreachable from any process)";
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Deadlock check over an already-enumerated move list: no enabled move
+/// while some process is still blocked.
+inline bool checkDeadlockViolation(Machine &M, const std::vector<Move> &Moves,
+                                   const McOptions &Options,
+                                   McResult &Result) {
+  if (!Options.CheckDeadlock || !Moves.empty() || M.error())
+    return false;
+  bool AnyBlocked = false;
+  for (unsigned I = 0, E = M.numProcesses(); I != E; ++I)
+    AnyBlocked |= M.proc(I).St == ProcState::Status::Blocked;
+  if (!AnyBlocked)
+    return false; // All processes finished: normal termination.
+  Result.Verdict = McVerdict::Violation;
+  Result.Deadlock = true;
+  Result.Violation.Kind = RuntimeErrorKind::None;
+  Result.Violation.Message = "deadlock: blocked processes with no "
+                             "enabled move";
+  return true;
+}
+
+} // namespace mc_detail
+} // namespace esp
+
+#endif // ESP_MC_SEARCHCOMMON_H

@@ -12,14 +12,22 @@
 
 using namespace esp;
 
+// The second FNV seed shared by the 128-bit and bit-state hashing (the
+// sequential and parallel backends must agree on it bit-for-bit).
+static constexpr uint64_t SecondHashSeed = 0x9e3779b97f4a7c15ULL;
+
 //===----------------------------------------------------------------------===//
 // StateCompressor
 //===----------------------------------------------------------------------===//
 
-uint32_t StateCompressor::intern(const std::string &Blob) {
-  auto [It, IsNew] = Index.emplace(Blob, static_cast<uint32_t>(Index.size()));
-  if (IsNew)
-    Bytes += It->first.size() + sizeof(std::string) + 16; // Node overhead.
+uint32_t StateCompressor::intern(std::string_view Blob) {
+  if (auto It = Index.find(Blob); It != Index.end())
+    return It->second;
+  auto [It, IsNew] = Index.emplace(std::string(Blob),
+                                   static_cast<uint32_t>(Index.size()));
+  assert(IsNew && "transparent find missed an existing key");
+  (void)IsNew;
+  Bytes += It->first.size() + sizeof(std::string) + 16; // Node overhead.
   return It->second;
 }
 
@@ -45,7 +53,12 @@ bool VisitedSet::insert(std::string_view Key) {
   bool New = false;
   switch (Kind) {
   case Impl::Exact:
-    New = ExactKeys.emplace(Key).second;
+    // Heterogeneous find: the common revisit probes without building a
+    // std::string; only a genuinely new key allocates.
+    if (ExactKeys.find(Key) == ExactKeys.end()) {
+      ExactKeys.emplace(Key);
+      New = true;
+    }
     break;
   case Impl::Hash64:
     New = Fp64.insert(mix64(fnv1aHash(Key.data(), Key.size()))).second;
@@ -53,7 +66,7 @@ bool VisitedSet::insert(std::string_view Key) {
   case Impl::Hash128: {
     Fp128 F;
     F.Hi = mix64(fnv1aHash(Key.data(), Key.size()));
-    F.Lo = mix64(fnv1aHash(Key.data(), Key.size(), 0x9e3779b97f4a7c15ULL));
+    F.Lo = mix64(fnv1aHash(Key.data(), Key.size(), SecondHashSeed));
     New = Fp128Set.insert(F).second;
     break;
   }
@@ -62,8 +75,7 @@ bool VisitedSet::insert(std::string_view Key) {
     // supertrace uses the same trick to cut collisions).
     uint64_t H1 = mix64(fnv1aHash(Key.data(), Key.size())) & BitMask;
     uint64_t H2 =
-        mix64(fnv1aHash(Key.data(), Key.size(), 0x9e3779b97f4a7c15ULL)) &
-        BitMask;
+        mix64(fnv1aHash(Key.data(), Key.size(), SecondHashSeed)) & BitMask;
     bool Seen1 = BitTable[H1 / 8] & (1 << (H1 % 8));
     bool Seen2 = BitTable[H2 / 8] & (1 << (H2 % 8));
     BitTable[H1 / 8] |= 1 << (H1 % 8);
@@ -94,4 +106,167 @@ size_t VisitedSet::bytes() const {
     return BitTable.size();
   }
   return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// ConcurrentStateCompressor
+//===----------------------------------------------------------------------===//
+
+ConcurrentStateCompressor::ConcurrentStateCompressor(unsigned Log2Shards) {
+  assert(Log2Shards < 16 && "unreasonable shard count");
+  size_t NumShards = size_t(1) << Log2Shards;
+  Shards.reserve(NumShards);
+  for (size_t I = 0; I != NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+  ShardShift = 64 - Log2Shards;
+}
+
+uint32_t ConcurrentStateCompressor::intern(std::string_view Blob) {
+  uint64_t H = mix64(fnv1aHash(Blob.data(), Blob.size()));
+  Shard &S = *Shards[H >> ShardShift];
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (auto It = S.Index.find(Blob); It != S.Index.end())
+    return It->second;
+  uint32_t Id = NextIndex.fetch_add(1, std::memory_order_relaxed);
+  auto [It, IsNew] = S.Index.emplace(std::string(Blob), Id);
+  (void)IsNew;
+  S.Bytes += It->first.size() + sizeof(std::string) + 16; // Node overhead.
+  return Id;
+}
+
+size_t ConcurrentStateCompressor::components() const {
+  return NextIndex.load(std::memory_order_relaxed);
+}
+
+size_t ConcurrentStateCompressor::tableBytes() const {
+  size_t Total = 0;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    Total += S->Bytes;
+  }
+  return Total;
+}
+
+//===----------------------------------------------------------------------===//
+// ConcurrentVisitedSet
+//===----------------------------------------------------------------------===//
+
+ConcurrentVisitedSet::ConcurrentVisitedSet(Impl K, unsigned Log2Shards)
+    : Kind(K) {
+  if (K == Impl::BitState)
+    return; // The bit table is allocated by the factory.
+  assert(Log2Shards < 16 && "unreasonable shard count");
+  size_t NumShards = size_t(1) << Log2Shards;
+  Shards.reserve(NumShards);
+  for (size_t I = 0; I != NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+  ShardShift = 64 - Log2Shards;
+}
+
+ConcurrentVisitedSet ConcurrentVisitedSet::exact(unsigned Log2Shards) {
+  return ConcurrentVisitedSet(Impl::Exact, Log2Shards);
+}
+
+ConcurrentVisitedSet ConcurrentVisitedSet::hashCompact(bool Wide,
+                                                       unsigned Log2Shards) {
+  return ConcurrentVisitedSet(Wide ? Impl::Hash128 : Impl::Hash64,
+                              Log2Shards);
+}
+
+ConcurrentVisitedSet ConcurrentVisitedSet::bitState(unsigned Bits,
+                                                    uint64_t Seed) {
+  assert(Bits >= 6 && Bits < 64 && "bit-state bits must be validated");
+  ConcurrentVisitedSet S(Impl::BitState, 0);
+  S.NumBitWords = (size_t(1) << Bits) / 64;
+  S.BitWords = std::make_unique<std::atomic<uint64_t>[]>(S.NumBitWords);
+  for (size_t I = 0; I != S.NumBitWords; ++I)
+    S.BitWords[I].store(0, std::memory_order_relaxed);
+  S.BitMask = (uint64_t(1) << Bits) - 1;
+  S.Seed = Seed;
+  return S;
+}
+
+bool ConcurrentVisitedSet::insert(std::string_view Key) {
+  bool New = false;
+  if (Kind == Impl::BitState) {
+    // Seed == 0 reproduces the sequential hashing exactly; a swarm seed
+    // perturbs both probes so each worker prunes a different slice.
+    uint64_t H1 =
+        mix64(fnv1aHash(Key.data(), Key.size()) ^ Seed) & BitMask;
+    uint64_t H2 =
+        mix64(fnv1aHash(Key.data(), Key.size(), SecondHashSeed) ^ Seed) &
+        BitMask;
+    uint64_t Old1 = BitWords[H1 / 64].fetch_or(uint64_t(1) << (H1 % 64),
+                                               std::memory_order_relaxed);
+    uint64_t Old2 = BitWords[H2 / 64].fetch_or(uint64_t(1) << (H2 % 64),
+                                               std::memory_order_relaxed);
+    bool Seen1 = Old1 & (uint64_t(1) << (H1 % 64));
+    bool Seen2 = Old2 & (uint64_t(1) << (H2 % 64));
+    New = !(Seen1 && Seen2);
+    if (New)
+      Stored.fetch_add(1, std::memory_order_relaxed);
+    return New;
+  }
+
+  // Sharded backends: the shard index comes from the fingerprint's high
+  // bits; the stored fingerprint is the full 64/128-bit value, so the
+  // collision behavior matches the sequential VisitedSet bit-for-bit.
+  uint64_t Fp = mix64(fnv1aHash(Key.data(), Key.size()));
+  Shard &S = *Shards[Fp >> ShardShift];
+  switch (Kind) {
+  case Impl::Exact: {
+    std::lock_guard<std::mutex> Lock(S.M);
+    if (S.ExactKeys.find(Key) == S.ExactKeys.end()) {
+      S.ExactKeys.emplace(Key);
+      New = true;
+    }
+    break;
+  }
+  case Impl::Hash64: {
+    std::lock_guard<std::mutex> Lock(S.M);
+    New = S.Fp64.insert(Fp).second;
+    break;
+  }
+  case Impl::Hash128: {
+    VisitedSet::Fp128 F;
+    F.Hi = Fp;
+    F.Lo = mix64(fnv1aHash(Key.data(), Key.size(), SecondHashSeed));
+    std::lock_guard<std::mutex> Lock(S.M);
+    New = S.Fp128Set.insert(F).second;
+    break;
+  }
+  case Impl::BitState:
+    break; // Handled above.
+  }
+  if (New)
+    Stored.fetch_add(1, std::memory_order_relaxed);
+  return New;
+}
+
+size_t ConcurrentVisitedSet::bytes() const {
+  if (Kind == Impl::BitState)
+    return NumBitWords * sizeof(uint64_t);
+  size_t Total = 0;
+  for (const std::unique_ptr<Shard> &Sp : Shards) {
+    Shard &S = *Sp;
+    std::lock_guard<std::mutex> Lock(S.M);
+    switch (Kind) {
+    case Impl::Exact:
+      Total += S.ExactKeys.bucket_count() * sizeof(void *);
+      for (const std::string &Key : S.ExactKeys)
+        Total += Key.size() + sizeof(std::string) + 16; // Node overhead.
+      break;
+    case Impl::Hash64:
+      Total += S.Fp64.size() * (sizeof(uint64_t) + 16) +
+               S.Fp64.bucket_count() * sizeof(void *);
+      break;
+    case Impl::Hash128:
+      Total += S.Fp128Set.size() * (sizeof(VisitedSet::Fp128) + 16) +
+               S.Fp128Set.bucket_count() * sizeof(void *);
+      break;
+    case Impl::BitState:
+      break;
+    }
+  }
+  return Total;
 }

@@ -15,14 +15,25 @@
 ///    exact (full keys), hash-compaction (64- or 128-bit fingerprints
 ///    per state, SPIN's -DHC), and bit-state hashing (two bits per state
 ///    in a fixed table, SPIN's supertrace).
+///  * ConcurrentVisitedSet / ConcurrentStateCompressor — the same
+///    backends for the parallel search (SPIN's multicore mode): a
+///    lock-striped sharded table (shard selected by the fingerprint's
+///    high bits) for exact/hash storage, an atomic fetch_or bit table
+///    for bit-state, and a striped interning table for COLLAPSE.
+///    Fingerprints match the sequential backends bit-for-bit, so a
+///    completed parallel search stores exactly the states the
+///    sequential one does.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ESP_MC_STATESTORE_H
 #define ESP_MC_STATESTORE_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -31,14 +42,26 @@
 
 namespace esp {
 
+/// Transparent hash for string-keyed tables: lets the hot lookup path
+/// probe with a std::string_view and allocate a std::string only on
+/// first insertion (C++20 heterogeneous lookup).
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view S) const {
+    return std::hash<std::string_view>{}(S);
+  }
+};
+
 /// COLLAPSE component table: interns serialized heap-object blobs and
 /// hands out dense indices. A blob shared by millions of states (a
 /// common buffer content, a steady-state record) is stored exactly once.
 class StateCompressor {
 public:
   /// Interns \p Blob, returning its component index. Identical blobs get
-  /// identical indices for the lifetime of the compressor.
-  uint32_t intern(const std::string &Blob);
+  /// identical indices for the lifetime of the compressor. Only the
+  /// first occurrence of a blob allocates; repeat lookups probe with the
+  /// view directly.
+  uint32_t intern(std::string_view Blob);
 
   /// Number of distinct components stored.
   size_t components() const { return Index.size(); }
@@ -47,7 +70,9 @@ public:
   size_t tableBytes() const { return Bytes; }
 
 private:
-  std::unordered_map<std::string, uint32_t> Index;
+  std::unordered_map<std::string, uint32_t, TransparentStringHash,
+                     std::equal_to<>>
+      Index;
   size_t Bytes = 0;
 };
 
@@ -87,16 +112,116 @@ private:
     bool operator==(const Fp128 &O) const { return Hi == O.Hi && Lo == O.Lo; }
   };
   struct Fp128Hash {
-    size_t operator()(const Fp128 &F) const { return static_cast<size_t>(F.Hi); }
+    size_t operator()(const Fp128 &F) const {
+      // Fold both halves: Hi alone would degrade 128-bit fingerprints
+      // to 64-bit bucket distribution.
+      return static_cast<size_t>(F.Hi ^ (F.Lo * 0xc6a4a7935bd1e995ULL));
+    }
   };
 
   Impl Kind;
   uint64_t Stored = 0;
-  std::unordered_set<std::string> ExactKeys;
+  std::unordered_set<std::string, TransparentStringHash, std::equal_to<>>
+      ExactKeys;
   std::unordered_set<uint64_t> Fp64;
   std::unordered_set<Fp128, Fp128Hash> Fp128Set;
   std::vector<uint8_t> BitTable;
   uint64_t BitMask = 0;
+
+  friend class ConcurrentVisitedSet; // Shares Fp128/Fp128Hash.
+};
+
+/// Thread-safe COLLAPSE component table for the parallel search. Blobs
+/// are striped over shards by content hash; the global index counter is
+/// atomic, so indices are dense but not in discovery order — a blob's
+/// index is stable for the lifetime of the compressor, which is all the
+/// visited-set key construction needs.
+class ConcurrentStateCompressor {
+public:
+  explicit ConcurrentStateCompressor(unsigned Log2Shards = 6);
+
+  /// Thread-safe intern; identical blobs get identical indices.
+  uint32_t intern(std::string_view Blob);
+
+  /// Number of distinct components stored. Exact once writers joined.
+  size_t components() const;
+
+  /// Estimated memory held by the component table.
+  size_t tableBytes() const;
+
+private:
+  struct Shard {
+    std::mutex M;
+    std::unordered_map<std::string, uint32_t, TransparentStringHash,
+                       std::equal_to<>>
+        Index;
+    size_t Bytes = 0;
+  };
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  unsigned ShardShift;
+  std::atomic<uint32_t> NextIndex{0};
+};
+
+/// Thread-safe visited-state set for the parallel search. Membership
+/// semantics (fingerprint values, hence collision behavior) match the
+/// sequential VisitedSet exactly; storage is lock-striped by the
+/// fingerprint's high bits, and the bit-state table uses atomic
+/// fetch_or. Under concurrent insertion of the *same* bit-state key,
+/// two workers can both observe "new" (the two probe bits live in
+/// different words) — acceptable for the lossy supertrace mode; the
+/// exact/hash backends are linearizable per key.
+class ConcurrentVisitedSet {
+public:
+  static ConcurrentVisitedSet exact(unsigned Log2Shards = 6);
+  static ConcurrentVisitedSet hashCompact(bool Wide,
+                                          unsigned Log2Shards = 6);
+  /// \p Seed perturbs both probe hash functions; 0 reproduces the
+  /// sequential bit-state hashing. Swarm workers pass distinct seeds so
+  /// each covers a different random slice of a huge state space.
+  static ConcurrentVisitedSet bitState(unsigned Bits, uint64_t Seed = 0);
+
+  /// Movable (factory return); the atomic counter is transferred
+  /// non-atomically, which is fine before any concurrent use.
+  ConcurrentVisitedSet(ConcurrentVisitedSet &&O) noexcept
+      : Kind(O.Kind), Shards(std::move(O.Shards)), ShardShift(O.ShardShift),
+        Stored(O.Stored.load(std::memory_order_relaxed)),
+        BitWords(std::move(O.BitWords)), NumBitWords(O.NumBitWords),
+        BitMask(O.BitMask), Seed(O.Seed) {}
+
+  /// Thread-safe insert; true when \p Key was not present before.
+  bool insert(std::string_view Key);
+
+  /// States recorded via insert() returning true. Exact after all
+  /// writers joined.
+  uint64_t size() const { return Stored.load(std::memory_order_relaxed); }
+
+  /// Estimated memory held by the set.
+  size_t bytes() const;
+
+private:
+  enum class Impl : uint8_t { Exact, Hash64, Hash128, BitState };
+
+  struct Shard {
+    std::mutex M;
+    std::unordered_set<std::string, TransparentStringHash, std::equal_to<>>
+        ExactKeys;
+    std::unordered_set<uint64_t> Fp64;
+    std::unordered_set<VisitedSet::Fp128, VisitedSet::Fp128Hash> Fp128Set;
+  };
+
+  ConcurrentVisitedSet(Impl K, unsigned Log2Shards);
+
+  Impl Kind;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  unsigned ShardShift = 0;
+  std::atomic<uint64_t> Stored{0};
+
+  // Bit-state backend.
+  std::unique_ptr<std::atomic<uint64_t>[]> BitWords;
+  size_t NumBitWords = 0;
+  uint64_t BitMask = 0;
+  uint64_t Seed = 0;
 };
 
 } // namespace esp

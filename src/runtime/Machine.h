@@ -116,17 +116,21 @@ public:
 /// environment might send on external-writer channels (bounded domains),
 /// and accepts everything on external-reader channels. Used by the
 /// per-process memory-safety harness (§5.3).
+///
+/// Both methods are const: one model instance is shared read-only by
+/// every worker Machine of a parallel search, so implementations must
+/// not mutate state (allocation goes into the caller's Heap).
 class EnvModel {
 public:
   virtual ~EnvModel() = default;
 
   /// Number of distinct values the environment may send on \p Chan; 0
   /// disables environment sends on that channel.
-  virtual unsigned numVariants(const ChannelDecl *Chan) = 0;
+  virtual unsigned numVariants(const ChannelDecl *Chan) const = 0;
 
   /// Materializes variant \p Index in \p H.
   virtual Value makeVariant(const ChannelDecl *Chan, unsigned Index,
-                            Heap &H) = 0;
+                            Heap &H) const = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -218,7 +222,7 @@ public:
   void bindReader(const std::string &InterfaceName,
                   std::unique_ptr<ExternalReader> Reader);
   /// Sets the verification environment model (not owned).
-  void setEnvModel(EnvModel *Model) { Env = Model; }
+  void setEnvModel(const EnvModel *Model) { Env = Model; }
 
   /// Runs every process from its entry to its first communication point.
   /// Must be called once before step()/enumerateMoves().
@@ -385,7 +389,7 @@ private:
   // External bindings, indexed by channel id.
   std::vector<std::unique_ptr<ExternalWriter>> Writers;
   std::vector<std::unique_ptr<ExternalReader>> Readers;
-  EnvModel *Env = nullptr;
+  const EnvModel *Env = nullptr;
 };
 
 } // namespace esp

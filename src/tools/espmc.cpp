@@ -57,6 +57,15 @@ void printUsage() {
       "  --bits N            bit-state table log2 size (default 24,\n"
       "                      clamped to [10,28])\n"
       "  --runs N            simulation runs (default 256)\n"
+      "  --seed N            simulation / swarm base seed\n"
+      "  --jobs N            worker threads (default 1: the sequential\n"
+      "                      engine; 0 = one per hardware thread). A\n"
+      "                      completed exhaustive search reports the same\n"
+      "                      verdict and stored-state count at any N\n"
+      "  --swarm             with --mode bitstate --jobs N: independent\n"
+      "                      searches per worker with distinct hash seeds\n"
+      "                      and randomized move order; coverage is the\n"
+      "                      union of the workers'\n"
       "  --no-deadlock       do not report deadlocks\n"
       "  --no-leaks          do not report unreachable live objects\n"
       "  --int-domain a,b,c  environment int values (default 0,1)\n");
@@ -130,6 +139,12 @@ int main(int Argc, char **Argv) {
       Mc.BitStateBits = Bits;
     } else if (Arg == "--runs" && I + 1 < Argc) {
       Mc.SimulationRuns = static_cast<uint64_t>(std::atoll(Argv[++I]));
+    } else if (Arg == "--seed" && I + 1 < Argc) {
+      Mc.Seed = static_cast<uint64_t>(std::atoll(Argv[++I]));
+    } else if (Arg == "--jobs" && I + 1 < Argc) {
+      Mc.Jobs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (Arg == "--swarm") {
+      Mc.Swarm = true;
     } else if (Arg == "--no-deadlock") {
       Mc.CheckDeadlock = false;
     } else if (Arg == "--no-leaks") {

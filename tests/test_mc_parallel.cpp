@@ -1,0 +1,460 @@
+//===--- test_mc_parallel.cpp - Parallel model checker tests ----------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for `--jobs N` (the multi-core engine of ParallelSearch.cpp)
+/// and the concurrent visited-set backends. The load-bearing property:
+/// a COMPLETED exhaustive search reports the identical verdict,
+/// StatesStored, StatesExplored, and Transitions at any worker count,
+/// because each stored state is expanded exactly once — by whichever
+/// worker first inserted it — and the concurrent backends compute
+/// fingerprints bit-identical to the sequential ones.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mc/SafetyHarness.h"
+#include "mc/StateStore.h"
+#include "TestHelpers.h"
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace esp;
+using namespace esp::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Determinism: -jN == -j1 on completed searches
+//===----------------------------------------------------------------------===//
+
+// Clean (non-violating) models with enough interleaving to exercise
+// work sharing. Deadlock/leak checks stay on, so a completed search
+// really covers the whole reachable space.
+const char *CleanCorpus[] = {
+    // Producer/consumer over a rendezvous channel.
+    R"(
+channel c: int
+process a { $i = 0; while (i < 3) { out(c, i); i = i + 1; } }
+process b { $i = 0; while (i < 3) { in(c, $x); assert(x == i); i = i + 1; } }
+)",
+    // Two clients racing for a server: wide branching near the root.
+    R"(
+channel req: record of { ret: int }
+channel reply: record of { ret: int, v: int }
+process p1 { out(req, { @ }); in(reply, { @, $v }); assert(v == 1); }
+process p2 { out(req, { @ }); in(reply, { @, $v }); assert(v == 1); }
+process server {
+  $n = 0;
+  while (n < 2) { in(req, { $who }); out(reply, { who, 1 }); n = n + 1; }
+}
+)",
+    // Object transfers: exercises COLLAPSE component interning.
+    R"(
+channel c: array of int
+process p {
+  $i = 0;
+  while (i < 3) {
+    $data: array of int = { 2 -> 5 };
+    out(c, data);
+    unlink(data);
+    i = i + 1;
+  }
+}
+process q {
+  $i = 0;
+  while (i < 3) { in(c, $d); assert(d[0] == 5); unlink(d); i = i + 1; }
+}
+)",
+};
+
+struct Outcome {
+  McVerdict Verdict;
+  uint64_t Explored, Stored, Transitions;
+};
+
+Outcome runJobs(const ModuleIR &Module, McOptions Options, unsigned Jobs) {
+  Options.Jobs = Jobs;
+  McResult R = checkModel(Module, Options);
+  return {R.Verdict, R.StatesExplored, R.StatesStored, R.Transitions};
+}
+
+TEST(ParallelMc, CompletedSearchMatchesSequentialAcrossVisitedKinds) {
+  for (const char *Source : CleanCorpus) {
+    auto C = compile(Source);
+    ASSERT_TRUE(C);
+    for (VisitedKind Kind :
+         {VisitedKind::Exact, VisitedKind::Hash64, VisitedKind::Hash128}) {
+      for (bool Collapse : {true, false}) {
+        McOptions Options;
+        Options.Visited = Kind;
+        Options.Collapse = Collapse;
+        Outcome Seq = runJobs(C->Module, Options, 1);
+        ASSERT_EQ(Seq.Verdict, McVerdict::OK);
+        for (unsigned Jobs : {2u, 4u}) {
+          Outcome Par = runJobs(C->Module, Options, Jobs);
+          EXPECT_EQ(Par.Verdict, Seq.Verdict);
+          EXPECT_EQ(Par.Stored, Seq.Stored)
+              << "visited kind " << int(Kind) << " collapse " << Collapse
+              << " jobs " << Jobs;
+          EXPECT_EQ(Par.Explored, Seq.Explored);
+          EXPECT_EQ(Par.Transitions, Seq.Transitions);
+          // The once-per-stored-state expansion invariant.
+          EXPECT_EQ(Par.Explored, 1 + Par.Transitions);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelMc, BitStateCompletedSearchMatchesSequential) {
+  // Seed-0 concurrent bit-state hashes are bit-identical to the
+  // sequential table's, so even the (lossy) supertrace counts agree.
+  auto C = compile(CleanCorpus[1]);
+  ASSERT_TRUE(C);
+  McOptions Options;
+  Options.Mode = SearchMode::BitState;
+  Options.BitStateBits = 16;
+  Outcome Seq = runJobs(C->Module, Options, 1);
+  for (unsigned Jobs : {2u, 4u}) {
+    Outcome Par = runJobs(C->Module, Options, Jobs);
+    EXPECT_EQ(Par.Verdict, Seq.Verdict);
+    EXPECT_EQ(Par.Stored, Seq.Stored) << "jobs " << Jobs;
+    EXPECT_EQ(Par.Explored, Seq.Explored);
+  }
+}
+
+TEST(ParallelMc, RepeatedParallelRunsAreSelfConsistent) {
+  // Schedules differ run to run; completed-search counts must not.
+  auto C = compile(CleanCorpus[2]);
+  ASSERT_TRUE(C);
+  McOptions Options;
+  Outcome First = runJobs(C->Module, Options, 4);
+  for (int I = 0; I < 8; ++I) {
+    Outcome Again = runJobs(C->Module, Options, 4);
+    EXPECT_EQ(Again.Stored, First.Stored);
+    EXPECT_EQ(Again.Explored, First.Explored);
+    EXPECT_EQ(Again.Transitions, First.Transitions);
+  }
+}
+
+TEST(ParallelMc, ReportsWorkerAccounting) {
+  auto C = compile(CleanCorpus[0]);
+  ASSERT_TRUE(C);
+  McOptions Options;
+  Options.Jobs = 4;
+  McResult R = checkModel(C->Module, Options);
+  EXPECT_EQ(R.JobsUsed, 4u);
+  ASSERT_EQ(R.WorkerExplored.size(), 4u);
+  uint64_t Sum = 0;
+  for (uint64_t E : R.WorkerExplored)
+    Sum += E;
+  // The root is expanded on the coordinating thread, workers do the rest.
+  EXPECT_EQ(Sum + 1, R.StatesExplored);
+  EXPECT_NE(R.report().find("workers"), std::string::npos);
+}
+
+TEST(ParallelMc, JobsZeroUsesHardwareConcurrency) {
+  auto C = compile(CleanCorpus[0]);
+  ASSERT_TRUE(C);
+  McOptions Options;
+  Options.Jobs = 0;
+  McResult R = checkModel(C->Module, Options);
+  EXPECT_EQ(R.Verdict, McVerdict::OK) << R.report();
+  EXPECT_GE(R.JobsUsed, 1u);
+  Options.Jobs = 1;
+  McResult Seq = checkModel(C->Module, Options);
+  EXPECT_EQ(R.StatesStored, Seq.StatesStored);
+}
+
+//===----------------------------------------------------------------------===//
+// Violations: verdicts agree, parallel traces replay
+//===----------------------------------------------------------------------===//
+
+const char *ViolatingCorpus[] = {
+    // Assertion race (only one interleaving fails).
+    R"(
+channel req: record of { ret: int }
+channel reply: record of { ret: int, v: int }
+process p1 { out(req, { @ }); in(reply, { @, $v }); }
+process p2 { out(req, { @ }); in(reply, { @, $v }); assert(false); }
+process server {
+  $n = 0;
+  while (n < 2) { in(req, { $who }); out(reply, { who, 1 }); n = n + 1; }
+}
+)",
+    // Deadlock.
+    R"(
+channel go: int
+channel c1: int
+channel c2: int
+process a { out(go, 1); out(c1, 1); in(c2, $x); }
+process b { in(go, $g); out(c2, 2); in(c1, $y); }
+)",
+    // Use after free.
+    R"(
+channel c: array of int
+process p {
+  $data: array of int = { 4 -> 7 };
+  out(c, data);
+  unlink(data);
+}
+process q {
+  in(c, $d);
+  unlink(d);
+  assert(d[0] == 7);
+}
+)",
+    // Leak.
+    R"(
+channel c: array of int
+process p {
+  $i = 0;
+  while (i < 3) {
+    $data: array of int = { 2 -> 1 };
+    out(c, data);
+    unlink(data);
+    i = i + 1;
+  }
+}
+process q {
+  $i = 0;
+  while (i < 3) { in(c, $d); i = i + 1; }
+}
+)",
+};
+
+TEST(ParallelMc, ViolationVerdictsAgreeAndTracesReplay) {
+  for (const char *Source : ViolatingCorpus) {
+    auto C = compile(Source);
+    ASSERT_TRUE(C);
+    McOptions Options;
+    McResult Seq = checkModel(C->Module, Options);
+    ASSERT_EQ(Seq.Verdict, McVerdict::Violation);
+    for (unsigned Jobs : {2u, 4u}) {
+      Options.Jobs = Jobs;
+      McResult Par = checkModel(C->Module, Options);
+      ASSERT_EQ(Par.Verdict, McVerdict::Violation) << Par.report();
+      EXPECT_EQ(Par.Deadlock, Seq.Deadlock);
+      EXPECT_EQ(Par.Violation.Kind, Seq.Violation.Kind) << Par.report();
+      EXPECT_EQ(Par.Trace.size(), Par.TraceMoves.size());
+      EXPECT_FALSE(Par.TraceMoves.empty());
+      EXPECT_TRUE(replayTrace(C->Module, Options, Par))
+          << "parallel trace does not replay:\n"
+          << Par.report();
+    }
+  }
+}
+
+TEST(ParallelMc, ParallelSimulationFindsViolationAndReplays) {
+  auto C = compile(R"(
+channel c: int
+process a { out(c, 1); }
+process b { in(c, $x); assert(x == 0); }
+)");
+  ASSERT_TRUE(C);
+  McOptions Options;
+  Options.Mode = SearchMode::Simulation;
+  Options.SimulationRuns = 32;
+  Options.Jobs = 4;
+  McResult R = checkModel(C->Module, Options);
+  EXPECT_EQ(R.Verdict, McVerdict::Violation) << R.report();
+  EXPECT_EQ(R.JobsUsed, 4u);
+  EXPECT_TRUE(replayTrace(C->Module, Options, R)) << R.report();
+}
+
+TEST(ParallelMc, ParallelSimulationCleanModelRunsAllRuns) {
+  auto C = compile(CleanCorpus[0]);
+  ASSERT_TRUE(C);
+  McOptions Options;
+  Options.Mode = SearchMode::Simulation;
+  Options.SimulationRuns = 64;
+  Options.Jobs = 4;
+  McResult R = checkModel(C->Module, Options);
+  EXPECT_EQ(R.Verdict, McVerdict::PartialOK) << R.report();
+}
+
+//===----------------------------------------------------------------------===//
+// Swarm verification
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelMc, SwarmCoverageAtLeastSingleWorkerBitState) {
+  // Worker 0 of a swarm reproduces the sequential seed-0 search, and
+  // every worker's discoveries land in the shared union table, so the
+  // union coverage can only be >= the single-worker coverage.
+  auto C = compile(CleanCorpus[1]);
+  ASSERT_TRUE(C);
+  McOptions Options;
+  Options.Mode = SearchMode::BitState;
+  Options.BitStateBits = 16;
+  Outcome Seq = runJobs(C->Module, Options, 1);
+  Options.Swarm = true;
+  for (unsigned Jobs : {2u, 4u}) {
+    Outcome Swarm = runJobs(C->Module, Options, Jobs);
+    EXPECT_GE(Swarm.Stored, Seq.Stored) << "jobs " << Jobs;
+  }
+}
+
+TEST(ParallelMc, SwarmFindsViolation) {
+  auto C = compile(ViolatingCorpus[0]);
+  ASSERT_TRUE(C);
+  McOptions Options;
+  Options.Mode = SearchMode::BitState;
+  Options.BitStateBits = 16;
+  Options.Swarm = true;
+  Options.Jobs = 4;
+  McResult R = checkModel(C->Module, Options);
+  ASSERT_EQ(R.Verdict, McVerdict::Violation) << R.report();
+  EXPECT_TRUE(replayTrace(C->Module, Options, R)) << R.report();
+}
+
+//===----------------------------------------------------------------------===//
+// §5.3 safety harnesses stay deterministic under -jN
+//===----------------------------------------------------------------------===//
+
+const char *PageTableSource = R"(
+const TABLE_SIZE = 2;
+type updateT = record of { vAddr: int, pAddr: int }
+type userT = union of { update: updateT }
+channel ptReqC: record of { ret: int, vAddr: int }
+channel ptReplyC: record of { ret: int, pAddr: int }
+channel userReqC: userT
+process pageTable {
+  $table: #array of int = #{ TABLE_SIZE -> 0 };
+  while (true) {
+    alt {
+      case( in( ptReqC, { $ret, $vAddr})) {
+        out( ptReplyC, { ret, table[vAddr % TABLE_SIZE]});
+      }
+      case( in( userReqC, { update |> { $vAddr, $pAddr}})) {
+        table[vAddr % TABLE_SIZE] = pAddr;
+      }
+    }
+  }
+}
+)";
+
+TEST(ParallelMc, SafetyHarnessDeterministicUnderJobs) {
+  auto C = compile(PageTableSource);
+  ASSERT_TRUE(C);
+  SafetyOptions Options;
+  Options.IntDomain = {0, 1};
+  McResult Seq = verifyProcessMemorySafety(*C->Prog, "pageTable", Options);
+  ASSERT_EQ(Seq.Verdict, McVerdict::OK) << Seq.report();
+  Options.Mc.Jobs = 4;
+  McResult Par = verifyProcessMemorySafety(*C->Prog, "pageTable", Options);
+  EXPECT_EQ(Par.Verdict, McVerdict::OK) << Par.report();
+  EXPECT_EQ(Par.StatesStored, Seq.StatesStored);
+  EXPECT_EQ(Par.StatesExplored, Seq.StatesExplored);
+  EXPECT_EQ(Par.Transitions, Seq.Transitions);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent storage backends
+//===----------------------------------------------------------------------===//
+
+std::string keyFor(int I) { return "state-" + std::to_string(I); }
+
+TEST(ConcurrentVisitedSet, ExactInsertSemantics) {
+  ConcurrentVisitedSet V = ConcurrentVisitedSet::exact();
+  EXPECT_TRUE(V.insert("a"));
+  EXPECT_TRUE(V.insert("b"));
+  EXPECT_FALSE(V.insert("a"));
+  EXPECT_EQ(V.size(), 2u);
+  EXPECT_GT(V.bytes(), 0u);
+}
+
+TEST(ConcurrentVisitedSet, HammeredInsertCountsDistinctKeys) {
+  // 4 threads race over an overlapping key range; every key must be
+  // stored exactly once regardless of interleaving.
+  constexpr int NumKeys = 2000;
+  for (auto Make : {+[] { return ConcurrentVisitedSet::exact(4); },
+                    +[] { return ConcurrentVisitedSet::hashCompact(false, 4); },
+                    +[] { return ConcurrentVisitedSet::hashCompact(true, 4); }}) {
+    ConcurrentVisitedSet V = Make();
+    std::atomic<uint64_t> NewCount{0};
+    std::vector<std::thread> Threads;
+    for (int T = 0; T < 4; ++T)
+      Threads.emplace_back([&V, &NewCount, T] {
+        // Each thread covers 3/4 of the space, offset by thread id.
+        for (int I = 0; I < NumKeys * 3 / 4; ++I)
+          if (V.insert(keyFor((I + T * NumKeys / 4) % NumKeys)))
+            NewCount.fetch_add(1, std::memory_order_relaxed);
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    EXPECT_EQ(V.size(), uint64_t(NumKeys));
+    EXPECT_EQ(NewCount.load(), uint64_t(NumKeys));
+  }
+}
+
+TEST(ConcurrentVisitedSet, BitStateSeedChangesHashes) {
+  // Different seeds must map keys to different bit positions (that is
+  // the whole point of swarm verification). With a tiny table and many
+  // keys, two seeds collide differently, so the stored counts differ
+  // with overwhelming probability.
+  ConcurrentVisitedSet A = ConcurrentVisitedSet::bitState(10, 0);
+  ConcurrentVisitedSet B = ConcurrentVisitedSet::bitState(10, 0x1234567);
+  for (int I = 0; I < 4000; ++I) {
+    std::string K = keyFor(I);
+    A.insert(K);
+    B.insert(K);
+  }
+  EXPECT_NE(A.size(), 0u);
+  EXPECT_NE(B.size(), 0u);
+  EXPECT_NE(A.size(), B.size());
+}
+
+TEST(ConcurrentStateCompressor, SameBlobSameIndexAcrossThreads) {
+  ConcurrentStateCompressor C(4);
+  constexpr int NumBlobs = 512;
+  std::vector<std::vector<uint32_t>> PerThread(4);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&C, &PerThread, T] {
+      PerThread[T].resize(NumBlobs);
+      for (int I = 0; I < NumBlobs; ++I)
+        PerThread[T][I] = C.intern("blob-" + std::to_string(I));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  // Every thread observed the identical blob -> index mapping, and the
+  // indices are a bijection over [0, NumBlobs).
+  std::set<uint32_t> Distinct;
+  for (int I = 0; I < NumBlobs; ++I) {
+    Distinct.insert(PerThread[0][I]);
+    for (int T = 1; T < 4; ++T)
+      EXPECT_EQ(PerThread[T][I], PerThread[0][I]);
+  }
+  EXPECT_EQ(Distinct.size(), size_t(NumBlobs));
+  EXPECT_EQ(C.components(), uint32_t(NumBlobs));
+  EXPECT_GT(C.tableBytes(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Satellite: transparent lookup in the sequential stores
+//===----------------------------------------------------------------------===//
+
+TEST(StateCompressor, InternAcceptsStringView) {
+  StateCompressor C;
+  std::string Blob = "component-bytes";
+  uint32_t First = C.intern(std::string_view(Blob));
+  uint32_t Again = C.intern(std::string_view(Blob));
+  EXPECT_EQ(First, Again);
+  EXPECT_EQ(C.components(), 1u);
+}
+
+TEST(VisitedSet, ExactInsertAcceptsStringView) {
+  VisitedSet V = VisitedSet::exact();
+  std::string Key = "full-state-vector";
+  EXPECT_TRUE(V.insert(std::string_view(Key)));
+  EXPECT_FALSE(V.insert(std::string_view(Key)));
+  EXPECT_EQ(V.size(), 1u);
+}
+
+} // namespace
