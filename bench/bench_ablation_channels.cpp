@@ -12,8 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "frontend/Parser.h"
-#include "frontend/Sema.h"
+#include "driver/Driver.h"
 #include "runtime/Machine.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
@@ -74,12 +73,13 @@ struct Compiled {
 std::unique_ptr<Compiled> compileSource(const std::string &Source) {
   auto C = std::make_unique<Compiled>();
   C->Diags = std::make_unique<DiagnosticEngine>(C->SM);
-  C->Prog = Parser::parse(C->SM, *C->Diags, "bench.esp", Source);
-  if (!C->Prog || !checkProgram(*C->Prog, *C->Diags)) {
+  CompileResult R = compileBuffer(C->SM, *C->Diags, "bench.esp", Source);
+  if (!R.Success) {
     std::fprintf(stderr, "%s", C->Diags->renderAll().c_str());
     std::exit(1);
   }
-  C->Module = lowerProgram(*C->Prog);
+  C->Prog = std::move(R.Prog);
+  C->Module = std::move(R.Module);
   return C;
 }
 

@@ -14,8 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
-#include "frontend/Parser.h"
-#include "frontend/Sema.h"
+#include "driver/Driver.h"
 #include "ir/Passes.h"
 #include "runtime/Machine.h"
 #include "support/Diagnostics.h"
@@ -65,15 +64,18 @@ struct RunNumbers {
 RunNumbers runWith(const OptOptions &Options) {
   SourceManager SM;
   DiagnosticEngine Diags(SM);
-  std::unique_ptr<Program> Prog =
-      Parser::parse(SM, Diags, "heavy.esp", MessageHeavy);
-  if (!Prog || !checkProgram(*Prog, Diags)) {
+  CompileOptions COpts;
+  COpts.Optimize = true;
+  COpts.Opt = Options;
+  CompileResult CR = compileBuffer(SM, Diags, "heavy.esp", MessageHeavy, COpts);
+  if (!CR.Success) {
     std::fprintf(stderr, "%s", Diags.renderAll().c_str());
     std::exit(1);
   }
-  ModuleIR Module = lowerProgram(*Prog);
+  std::unique_ptr<Program> Prog = std::move(CR.Prog);
+  ModuleIR Module = std::move(CR.Optimized);
   RunNumbers Out;
-  Out.Opt = optimizeModule(Module, Options);
+  Out.Opt = CR.Opt;
   Machine M(Module, MachineOptions());
   M.start();
   Machine::StepResult R = M.run(1'000'000);

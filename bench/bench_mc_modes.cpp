@@ -18,8 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
-#include "frontend/Parser.h"
-#include "frontend/Sema.h"
+#include "driver/Driver.h"
 #include "mc/SafetyHarness.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
@@ -155,12 +154,13 @@ struct CompiledModel {
 std::unique_ptr<CompiledModel> compileModel(const std::string &Model) {
   auto C = std::make_unique<CompiledModel>();
   C->Diags = std::make_unique<DiagnosticEngine>(C->SM);
-  C->Prog = Parser::parse(C->SM, *C->Diags, "model", Model);
-  if (!C->Prog || !checkProgram(*C->Prog, *C->Diags)) {
+  CompileResult R = compileBuffer(C->SM, *C->Diags, "model", Model);
+  if (!R.Success) {
     std::fprintf(stderr, "compile error:\n%s", C->Diags->renderAll().c_str());
     std::exit(1);
   }
-  C->Module = lowerProgram(*C->Prog);
+  C->Prog = std::move(R.Prog);
+  C->Module = std::move(R.Module);
   return C;
 }
 
@@ -311,13 +311,14 @@ int main() {
   std::printf("\nVMMC firmware per-process safety harness (section 5.3):\n");
   SourceManager SM;
   DiagnosticEngine Diags(SM);
-  std::unique_ptr<Program> Firmware =
-      Parser::parse(SM, Diags, "vmmc.esp", vmmc::getVmmcEspSource());
-  if (!Firmware || !checkProgram(*Firmware, Diags)) {
+  CompileResult FirmwareResult =
+      compileBuffer(SM, Diags, "vmmc.esp", vmmc::getVmmcEspSource());
+  if (!FirmwareResult.Success) {
     std::fprintf(stderr, "firmware failed to compile:\n%s",
                  Diags.renderAll().c_str());
     return 1;
   }
+  std::unique_ptr<Program> Firmware = std::move(FirmwareResult.Prog);
   for (const VisitedConfig &Cfg : VisitedConfigs)
     runVmmcRow(*Firmware, "pageTable", Cfg);
   for (const VisitedConfig &Cfg : VisitedConfigs)

@@ -16,8 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
-#include "frontend/Parser.h"
-#include "frontend/Sema.h"
+#include "driver/Driver.h"
 #include "mc/ModelChecker.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
@@ -115,18 +114,18 @@ int main() {
 
   SourceManager SM;
   DiagnosticEngine Diags(SM);
-  std::unique_ptr<Program> Prog =
-      Parser::parse(SM, Diags, "retrans.esp", RetransModel);
-  if (!Prog || !checkProgram(*Prog, Diags)) {
+  CompileResult CR = compileBuffer(SM, Diags, "retrans.esp", RetransModel);
+  if (!CR.Success) {
     std::fprintf(stderr, "model failed to compile:\n%s",
                  Diags.renderAll().c_str());
     return 1;
   }
+  std::unique_ptr<Program> Prog = std::move(CR.Prog);
   std::printf("verifier test harness: %u effective lines of ESP "
               "(paper: 65 lines of SPIN test code)\n\n",
               countEffectiveLines(RetransModel));
 
-  ModuleIR Module = lowerProgram(*Prog);
+  ModuleIR Module = std::move(CR.Module);
   McOptions Options;
   Options.MaxStates = 3'000'000;
   Options.MaxObjects = 256;

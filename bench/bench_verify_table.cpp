@@ -15,8 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
-#include "frontend/Parser.h"
-#include "frontend/Sema.h"
+#include "driver/Driver.h"
 #include "support/Diagnostics.h"
 #include "mc/SafetyHarness.h"
 #include "support/SourceManager.h"
@@ -29,14 +28,14 @@ namespace {
 
 std::unique_ptr<Program> compileFirmware(SourceManager &SM,
                                          DiagnosticEngine &Diags) {
-  std::unique_ptr<Program> Prog =
-      Parser::parse(SM, Diags, "vmmc.esp", vmmc::getVmmcEspSource());
-  if (!Prog || !checkProgram(*Prog, Diags)) {
+  CompileResult R =
+      compileBuffer(SM, Diags, "vmmc.esp", vmmc::getVmmcEspSource());
+  if (!R.Success) {
     std::fprintf(stderr, "firmware failed to compile:\n%s",
                  Diags.renderAll().c_str());
     std::exit(1);
   }
-  return Prog;
+  return std::move(R.Prog);
 }
 
 void verifyRow(const Program &Prog, const char *Name, SearchMode Mode,
@@ -65,11 +64,12 @@ void injectedBugRow(const char *Label, const char *Source,
                     const char *ProcName) {
   SourceManager SM;
   DiagnosticEngine Diags(SM);
-  std::unique_ptr<Program> Prog = Parser::parse(SM, Diags, Label, Source);
-  if (!Prog || !checkProgram(*Prog, Diags)) {
+  CompileResult CR = compileBuffer(SM, Diags, Label, Source);
+  if (!CR.Success) {
     std::printf("%-34s compile error\n", Label);
     return;
   }
+  std::unique_ptr<Program> Prog = std::move(CR.Prog);
   SafetyOptions Options;
   McResult R = verifyProcessMemorySafety(*Prog, ProcName, Options);
   std::printf("%-34s %-14s %8llu states %8.3f s  trace:%zu moves\n", Label,

@@ -11,8 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "frontend/Parser.h"
-#include "frontend/Sema.h"
+#include "driver/Driver.h"
 #include "ir/Passes.h"
 #include "runtime/Machine.h"
 #include "support/Diagnostics.h"
@@ -108,15 +107,16 @@ public:
 int main() {
   SourceManager SM;
   DiagnosticEngine Diags(SM);
-  std::unique_ptr<Program> Prog =
-      Parser::parse(SM, Diags, "pagetable.esp", Source);
-  if (!Prog || !checkProgram(*Prog, Diags)) {
+  CompileOptions COpts;
+  COpts.Optimize = true;
+  CompileResult R = compileBuffer(SM, Diags, "pagetable.esp", Source, COpts);
+  if (!R.Success) {
     std::fprintf(stderr, "compilation failed:\n%s",
                  Diags.renderAll().c_str());
     return 1;
   }
-  ModuleIR Module = lowerProgram(*Prog);
-  optimizeModule(Module, OptOptions::all());
+  std::unique_ptr<Program> Prog = std::move(R.Prog);
+  ModuleIR Module = std::move(R.Optimized);
   Machine M(Module, MachineOptions());
 
   auto Driver = std::make_unique<HostDriver>();

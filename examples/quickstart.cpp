@@ -13,8 +13,7 @@
 
 #include "codegen/CCodeGen.h"
 #include "codegen/PromelaGen.h"
-#include "frontend/Parser.h"
-#include "frontend/Sema.h"
+#include "driver/Driver.h"
 #include "ir/Passes.h"
 #include "mc/ModelChecker.h"
 #include "runtime/Machine.h"
@@ -49,19 +48,21 @@ int main() {
   // 1. Compile: parse + semantic checks (types, patterns, channels).
   SourceManager SM;
   DiagnosticEngine Diags(SM);
-  std::unique_ptr<Program> Prog =
-      Parser::parse(SM, Diags, "quickstart.esp", Source);
-  if (!Prog || !checkProgram(*Prog, Diags)) {
+  CompileOptions COpts;
+  COpts.Optimize = true;
+  CompileResult CR = compileBuffer(SM, Diags, "quickstart.esp", Source, COpts);
+  if (!CR.Success) {
     std::fprintf(stderr, "compilation failed:\n%s",
                  Diags.renderAll().c_str());
     return 1;
   }
+  std::unique_ptr<Program> Prog = std::move(CR.Prog);
   std::printf("compiled: %zu processes, %zu channels\n",
               Prog->Processes.size(), Prog->Channels.size());
 
-  // 2. Lower to the state-machine IR and optimize (§6.1).
-  ModuleIR Module = lowerProgram(*Prog);
-  OptStats Opt = optimizeModule(Module, OptOptions::all());
+  // 2. The driver lowered to the state-machine IR and optimized (§6.1).
+  ModuleIR Module = std::move(CR.Optimized);
+  OptStats Opt = CR.Opt;
   std::printf("optimized: %u dead stores removed, %u jumps threaded\n",
               Opt.DeadStoresRemoved, Opt.JumpsThreaded);
 
@@ -81,7 +82,7 @@ int main() {
   // 4. Verify: explore every interleaving (§5). The add5 server loops
   //    forever, so terminal blocked states are expected; check
   //    assertions and memory safety only.
-  ModuleIR Unoptimized = lowerProgram(*Prog); // §5.2: translate early.
+  ModuleIR Unoptimized = std::move(CR.Module); // §5.2: translate early.
   McOptions Mc;
   Mc.CheckDeadlock = false;
   McResult Verification = checkModel(Unoptimized, Mc);

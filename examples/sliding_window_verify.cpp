@@ -14,8 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "frontend/Parser.h"
-#include "frontend/Sema.h"
+#include "driver/Driver.h"
 #include "mc/ModelChecker.h"
 #include "runtime/Machine.h"
 #include "support/Diagnostics.h"
@@ -95,12 +94,12 @@ process sink {
 static McResult verify(const std::string &Source, const char *Label) {
   SourceManager SM;
   DiagnosticEngine Diags(SM);
-  std::unique_ptr<Program> Prog = Parser::parse(SM, Diags, Label, Source);
-  if (!Prog || !checkProgram(*Prog, Diags)) {
+  CompileResult CR = compileBuffer(SM, Diags, Label, Source);
+  if (!CR.Success) {
     std::fprintf(stderr, "compile failed:\n%s", Diags.renderAll().c_str());
     std::exit(1);
   }
-  ModuleIR Module = lowerProgram(*Prog); // Unoptimized, §5.2.
+  ModuleIR Module = std::move(CR.Module); // Unoptimized, §5.2.
   McOptions Options;
   Options.CheckDeadlock = false; // wire/receiver/sink loop forever.
   Options.MaxObjects = 64;
@@ -138,10 +137,9 @@ int main() {
               "without new bugs)\n");
   SourceManager SM;
   DiagnosticEngine Diags(SM);
-  std::unique_ptr<Program> Prog =
-      Parser::parse(SM, Diags, "fixed.esp", makeProtocol(true));
-  checkProgram(*Prog, Diags);
-  ModuleIR Module = lowerProgram(*Prog);
+  CompileResult CR = compileBuffer(SM, Diags, "fixed.esp", makeProtocol(true));
+  std::unique_ptr<Program> Prog = std::move(CR.Prog);
+  ModuleIR Module = std::move(CR.Module);
   Machine M(Module, MachineOptions());
   M.start();
   // The wire and receiver loop forever and the sender's retransmission

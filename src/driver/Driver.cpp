@@ -1,0 +1,98 @@
+//===--- Driver.cpp - The shared ESP compilation pipeline -------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace esp;
+
+namespace {
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Text;
+  Text << In.rdbuf();
+  Out = Text.str();
+  return true;
+}
+
+} // namespace
+
+CompileResult esp::compile(SourceManager &SM, DiagnosticEngine &Diags,
+                           const std::vector<CompileInput> &Inputs,
+                           const CompileOptions &Options) {
+  CompileResult Result;
+  if (Inputs.empty()) {
+    Result.IOError = "no input files";
+    return Result;
+  }
+
+  if (Options.Concatenate || Inputs.size() > 1) {
+    // The pgm.SPIN + test.SPIN layout (Figure 4): harness files are part
+    // of the same program, so all inputs become one buffer with banner
+    // comments marking the boundaries.
+    std::string Combined;
+    for (const CompileInput &In : Inputs) {
+      std::string Text;
+      if (In.Source) {
+        Text = *In.Source;
+      } else if (!readFile(In.Name, Text)) {
+        Result.IOError = "cannot read '" + In.Name + "'";
+        return Result;
+      }
+      Combined += "// ---- ";
+      Combined += In.Name;
+      Combined += " ----\n";
+      Combined += Text;
+      Combined += "\n";
+    }
+    Result.Prog = Parser::parse(SM, Diags, Inputs[0].Name, Combined);
+  } else {
+    const CompileInput &In = Inputs[0];
+    uint32_t FileId;
+    if (In.Source) {
+      FileId = SM.addBuffer(In.Name, *In.Source);
+    } else {
+      FileId = SM.addFile(In.Name);
+      if (FileId == UINT32_MAX) {
+        Result.IOError = "cannot read '" + In.Name + "'";
+        return Result;
+      }
+    }
+    Parser P(SM, FileId, Diags);
+    Result.Prog = P.parseProgram();
+    if (Diags.hasErrors())
+      Result.Prog = nullptr;
+  }
+
+  if (!Result.Prog || !checkProgram(*Result.Prog, Diags))
+    return Result;
+
+  Result.Module = lowerProgram(*Result.Prog);
+  if (Options.Optimize) {
+    Result.Optimized = lowerProgram(*Result.Prog);
+    Result.Opt = optimizeModule(Result.Optimized, Options.Opt);
+  }
+  Result.Success = true;
+  return Result;
+}
+
+CompileResult esp::compileBuffer(SourceManager &SM, DiagnosticEngine &Diags,
+                                 std::string Label, std::string Source,
+                                 const CompileOptions &Options) {
+  std::vector<CompileInput> Inputs;
+  Inputs.push_back(CompileInput::buffer(std::move(Label), std::move(Source)));
+  return compile(SM, Diags, Inputs, Options);
+}

@@ -1,0 +1,101 @@
+//===--- Driver.h - The shared ESP compilation pipeline ---------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// esp::compile is the one front door to the compilation pipeline:
+/// register inputs, parse, type-check, lower, optionally optimize. Every
+/// tool, test, and benchmark goes through it instead of hand-wiring
+/// Parser + Sema + lowerProgram, so the pipeline stages and their order
+/// live in exactly one place.
+///
+/// The result carries both lowerings the paper distinguishes: the
+/// unoptimized IR the verifier consumes (translation happens right after
+/// type checking, §5.2) and the §6.1-optimized IR the code generator and
+/// the execution-mode runtime consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_DRIVER_DRIVER_H
+#define ESP_DRIVER_DRIVER_H
+
+#include "frontend/AST.h"
+#include "ir/IR.h"
+#include "ir/Passes.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace esp {
+
+class SourceManager;
+class DiagnosticEngine;
+
+/// One compilation input: a file on disk, or an in-memory buffer
+/// registered under a label (builtin firmware, tests, benchmarks).
+struct CompileInput {
+  std::string Name;                  ///< Path, or buffer label.
+  std::optional<std::string> Source; ///< Inline text; read from disk if unset.
+
+  static CompileInput file(std::string Path) {
+    CompileInput In;
+    In.Name = std::move(Path);
+    return In;
+  }
+  static CompileInput buffer(std::string Label, std::string Text) {
+    CompileInput In;
+    In.Name = std::move(Label);
+    In.Source = std::move(Text);
+    return In;
+  }
+};
+
+struct CompileOptions {
+  /// Also produce CompileResult::Optimized (the §6.1 passes).
+  bool Optimize = false;
+  /// Which passes, when Optimize is set.
+  OptOptions Opt = OptOptions::all();
+  /// Combine the inputs into one buffer with "// ---- name ----" banners
+  /// even when there is only one — the paper's pgm.SPIN + test.SPIN
+  /// layout used by espmc, where harness files extend the program.
+  bool Concatenate = false;
+};
+
+struct CompileResult {
+  std::unique_ptr<Program> Prog;
+  /// Unoptimized lowering: what the model checker and the analyses run
+  /// on (§5.2). Valid when Success.
+  ModuleIR Module;
+  /// Optimized lowering (valid when Success and Options.Optimize).
+  ModuleIR Optimized;
+  /// What the optimizer did (zeroes unless Options.Optimize).
+  OptStats Opt;
+  /// Set when an input could not be read; the tools print it verbatim.
+  /// I/O failures do not go through the DiagnosticEngine because they
+  /// have no source location.
+  std::string IOError;
+  bool Success = false;
+
+  explicit operator bool() const { return Success; }
+};
+
+/// Runs the pipeline over \p Inputs. Diagnostics accumulate in \p Diags;
+/// the caller renders them (tools print, tests assert). Success means
+/// every input was read, parsed, and type-checked with no errors and the
+/// requested lowerings are populated.
+CompileResult compile(SourceManager &SM, DiagnosticEngine &Diags,
+                      const std::vector<CompileInput> &Inputs,
+                      const CompileOptions &Options = CompileOptions());
+
+/// Single in-memory buffer convenience (tests, benchmarks, builtins).
+CompileResult compileBuffer(SourceManager &SM, DiagnosticEngine &Diags,
+                            std::string Label, std::string Source,
+                            const CompileOptions &Options = CompileOptions());
+
+} // namespace esp
+
+#endif // ESP_DRIVER_DRIVER_H

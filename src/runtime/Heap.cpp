@@ -10,81 +10,42 @@
 
 using namespace esp;
 
-std::optional<Value> Heap::allocate(const Type *T, size_t NumElems) {
-  uint32_t Index;
-  if (ReuseIds && !FreeList.empty()) {
-    Index = FreeList.back();
-    FreeList.pop_back();
-  } else {
-    if (MaxObjects != 0 && Objects.size() >= MaxObjects)
-      return std::nullopt;
-    Index = static_cast<uint32_t>(Objects.size());
-    Objects.emplace_back();
-  }
-  HeapObject &Obj = Objects[Index];
-  Obj.ObjType = T;
-  Obj.RefCount = 1;
-  Obj.Live = true;
-  Obj.Arm = -1;
-  Obj.Elems.assign(NumElems, Value());
-  ++TotalAllocations;
-  ++LiveCount;
-  if (LiveCount > HighWater)
-    HighWater = LiveCount;
-  return Value::makeRef(Index, Obj.Gen);
-}
-
-HeapObject *Heap::deref(const Value &V) {
-  if (!V.isRef() || V.Ref >= Objects.size())
-    return nullptr;
-  HeapObject &Obj = Objects[V.Ref];
-  if (!Obj.Live || Obj.Gen != V.Gen)
-    return nullptr;
-  return &Obj;
-}
-
-const HeapObject *Heap::deref(const Value &V) const {
-  return const_cast<Heap *>(this)->deref(V);
-}
-
-HeapStatus Heap::link(const Value &V) {
-  HeapObject *Obj = deref(V);
-  if (!Obj)
-    return HeapStatus::DeadObject;
-  ++Obj->RefCount;
-  return HeapStatus::OK;
-}
-
 void Heap::freeObject(uint32_t Index) {
   HeapObject &Obj = Objects[Index];
   assert(Obj.Live && "double free");
+  assert((Obj.Gen & 1) == 0 && "freeing a slot with odd (dead) generation");
   Obj.Live = false;
-  ++Obj.Gen; // Invalidate outstanding references.
+  ++Obj.Gen; // Even (live) -> odd (freed): invalidates outstanding refs.
+  // Keep the element buffer's capacity for the next occupant of the slot.
+  Obj.Elems.clear();
   --LiveCount;
-  if (ReuseIds)
-    FreeList.push_back(Index);
+  if (ReuseIds) {
+    NextFree[Index] = FreeHead;
+    FreeHead = Index;
+  }
 }
 
 HeapStatus Heap::unlink(const Value &V) {
   // Iterative recursive-unlink to avoid unbounded native recursion on
-  // deep object graphs.
-  std::vector<Value> Worklist = {V};
-  while (!Worklist.empty()) {
-    Value Current = Worklist.back();
-    Worklist.pop_back();
+  // deep object graphs. The scratch worklist is a member so steady-state
+  // unlinks are allocation-free.
+  UnlinkScratch.clear();
+  UnlinkScratch.push_back(V);
+  while (!UnlinkScratch.empty()) {
+    Value Current = UnlinkScratch.back();
+    UnlinkScratch.pop_back();
     HeapObject *Obj = deref(Current);
     if (!Obj)
       return HeapStatus::DeadObject;
     assert(Obj->RefCount > 0 && "live object with zero refcount");
     if (--Obj->RefCount != 0)
       continue;
-    // Free and recursively unlink children. Move the element list out
-    // first: freeObject invalidates the object.
-    std::vector<Value> Children = std::move(Obj->Elems);
-    freeObject(Current.Ref);
-    for (const Value &Child : Children)
+    // Queue the children, then free: freeObject clears the element list
+    // (the object is dead; the slot keeps the buffer for reuse).
+    for (const Value &Child : Obj->Elems)
       if (Child.isRef())
-        Worklist.push_back(Child);
+        UnlinkScratch.push_back(Child);
+    freeObject(Current.Ref);
   }
   return HeapStatus::OK;
 }

@@ -17,8 +17,15 @@
 ///  * the object table can be bounded (`MaxObjects`), in which case
 ///    exhaustion signals a leak — the paper's leak-detection mechanism.
 ///
-/// References carry a generation counter so use-after-free is detected
-/// even when object slots are reused.
+/// Allocation is a free-list pop: freed slots are recycled in LIFO order
+/// and keep their element storage, so steady-state firmware allocation
+/// touches no allocator. References carry a generation counter with a
+/// parity invariant — a live object's generation is even, a freed one's
+/// odd (free and reuse each bump it) — so the execution-mode liveness
+/// check is a single generation compare that detects use-after-free even
+/// across slot reuse. Verification mode (`setFullChecks`) additionally
+/// validates the explicit live flag and the parity invariant on every
+/// dereference.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +34,7 @@
 
 #include "frontend/Type.h"
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -80,6 +88,7 @@ struct Value {
 
 /// One heap object: a record (Elems = fields), array (Elems = elements),
 /// or union (Elems has a single entry, Arm names the valid field).
+/// Invariant: Live <=> (Gen & 1) == 0 once the slot has been allocated.
 struct HeapObject {
   const Type *ObjType = nullptr;
   uint32_t RefCount = 0;
@@ -106,19 +115,71 @@ public:
   explicit Heap(uint32_t MaxObjects = 0, bool ReuseIds = true)
       : MaxObjects(MaxObjects), ReuseIds(ReuseIds) {}
 
+  /// Verification mode: validate the Live flag and the generation-parity
+  /// invariant on every dereference, not just the generation compare.
+  void setFullChecks(bool Enable) { FullChecks = Enable; }
+
   /// Allocates an object with \p NumElems uninitialized elements and
   /// reference count 1. Returns std::nullopt when the bounded table is
-  /// exhausted.
-  std::optional<Value> allocate(const Type *T, size_t NumElems);
+  /// exhausted. Pops the free list when a recycled slot is available; the
+  /// slot's generation is bumped back to even (live).
+  std::optional<Value> allocate(const Type *T, size_t NumElems) {
+    uint32_t Index;
+    if (ReuseIds && FreeHead != kNoFree) {
+      Index = FreeHead;
+      FreeHead = NextFree[Index];
+      ++Objects[Index].Gen; // Odd (freed) -> even (live again).
+    } else {
+      if (MaxObjects != 0 && Objects.size() >= MaxObjects)
+        return std::nullopt;
+      Index = static_cast<uint32_t>(Objects.size());
+      Objects.emplace_back();
+      NextFree.push_back(kNoFree);
+    }
+    HeapObject &Obj = Objects[Index];
+    Obj.ObjType = T;
+    Obj.RefCount = 1;
+    Obj.Live = true;
+    Obj.Arm = -1;
+    Obj.Elems.assign(NumElems, Value()); // Reuses the slot's capacity.
+    ++TotalAllocations;
+    ++LiveCount;
+    if (LiveCount > HighWater)
+      HighWater = LiveCount;
+    return Value::makeRef(Index, Obj.Gen);
+  }
 
-  /// Returns the object behind \p V if it is live; null otherwise.
-  HeapObject *deref(const Value &V);
-  const HeapObject *deref(const Value &V) const;
+  /// Returns the object behind \p V if it is live; null otherwise. The
+  /// generation-parity invariant makes the generation compare alone a
+  /// complete use-after-free test: handed-out generations are always
+  /// even, and both freeing and reusing a slot change its generation.
+  HeapObject *deref(const Value &V) {
+    if (!V.isRef() || V.Ref >= Objects.size())
+      return nullptr;
+    HeapObject &Obj = Objects[V.Ref];
+    if (Obj.Gen != V.Gen)
+      return nullptr;
+    if (FullChecks) {
+      assert(Obj.Live == ((Obj.Gen & 1) == 0) && "generation parity broken");
+      if (!Obj.Live)
+        return nullptr;
+    }
+    return &Obj;
+  }
+  const HeapObject *deref(const Value &V) const {
+    return const_cast<Heap *>(this)->deref(V);
+  }
 
   bool isLive(const Value &V) const { return deref(V) != nullptr; }
 
   /// rc++ (the `link` primitive). Fails on dead objects.
-  HeapStatus link(const Value &V);
+  HeapStatus link(const Value &V) {
+    HeapObject *Obj = deref(V);
+    if (!Obj)
+      return HeapStatus::DeadObject;
+    ++Obj->RefCount;
+    return HeapStatus::OK;
+  }
 
   /// rc-- (the `unlink` primitive); frees at zero and recursively unlinks
   /// the objects pointed to (§4.4). Fails on dead objects.
@@ -134,12 +195,20 @@ public:
   const std::vector<HeapObject> &objects() const { return Objects; }
 
 private:
+  static constexpr uint32_t kNoFree = UINT32_MAX;
+
   void freeObject(uint32_t Index);
 
   uint32_t MaxObjects;
   bool ReuseIds;
+  bool FullChecks = false;
   std::vector<HeapObject> Objects;
-  std::vector<uint32_t> FreeList;
+  /// Intrusive free list: NextFree[I] chains freed slots from FreeHead.
+  std::vector<uint32_t> NextFree;
+  uint32_t FreeHead = kNoFree;
+  /// Scratch for the iterative unlink walk (kept to avoid per-unlink
+  /// allocation; always empty between calls).
+  std::vector<Value> UnlinkScratch;
   uint64_t TotalAllocations = 0;
   uint32_t LiveCount = 0;
   uint32_t HighWater = 0;

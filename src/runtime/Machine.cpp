@@ -10,6 +10,7 @@
 #include "support/StringExtras.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <sstream>
 #include <unordered_map>
@@ -78,9 +79,12 @@ std::string Move::str(const ModuleIR &Module) const {
 //===----------------------------------------------------------------------===//
 
 Machine::Machine(const ModuleIR &Module, MachineOptions Options)
-    : Module(Module), Options(Options),
+    : Module(Module), Options(Options), CP(CompiledProgram::build(Module)),
       H(Options.MaxObjects, Options.ReuseObjectIds) {
+  H.setFullChecks(Options.DeepCopyTransfers);
   Procs.resize(Module.Procs.size());
+  InWait.assign(Module.Prog->Channels.size() * CP.MaskWords, 0);
+  OutWait.assign(Module.Prog->Channels.size() * CP.MaskWords, 0);
   Writers.resize(Module.Prog->Channels.size());
   Readers.resize(Module.Prog->Channels.size());
 }
@@ -122,12 +126,55 @@ void Machine::fail(RuntimeErrorKind Kind, SourceLoc Loc, int ProcIndex,
   Error.Loc = Loc;
   Error.ProcessIndex = ProcIndex;
   Error.Message = std::move(Message);
-  if (ProcIndex >= 0)
+  if (ProcIndex >= 0) {
+    if (Procs[ProcIndex].St == ProcState::Status::Blocked)
+      clearWaitBits(static_cast<unsigned>(ProcIndex));
     Procs[ProcIndex].St = ProcState::Status::Failed;
+  }
 }
 
 //===----------------------------------------------------------------------===//
-// Expression evaluation
+// Wait bitmasks
+//===----------------------------------------------------------------------===//
+
+// The masks are an accelerator over the truth (Blocked + CaseEnabled +
+// channel): every consumer re-checks those, so the invariant that matters
+// is masks >= truth. Bits are added when a process publishes its block
+// point (end of prepareBlock) and cleared when it leaves it
+// (releaseLosingCases, fail) or wholesale on restore().
+
+void Machine::addWaitBits(unsigned ProcIndex) {
+  const ProcState &P = Procs[ProcIndex];
+  const CInst &I = CP.Procs[ProcIndex].Insts[P.PC];
+  const uint64_t Bit = uint64_t(1) << (ProcIndex % 64);
+  const unsigned Word = ProcIndex / 64;
+  size_t N = std::min(I.Cases.size(), P.CaseEnabled.size());
+  for (size_t C = 0; C != N; ++C) {
+    if (!P.CaseEnabled[C])
+      continue;
+    const CCase &Case = I.Cases[C];
+    (Case.IsIn ? inWait(Case.ChanId) : outWait(Case.ChanId))[Word] |= Bit;
+  }
+}
+
+void Machine::clearWaitBits(unsigned ProcIndex) {
+  const CInst &I = CP.Procs[ProcIndex].Insts[Procs[ProcIndex].PC];
+  const uint64_t Bit = uint64_t(1) << (ProcIndex % 64);
+  const unsigned Word = ProcIndex / 64;
+  for (const CCase &Case : I.Cases)
+    (Case.IsIn ? inWait(Case.ChanId) : outWait(Case.ChanId))[Word] &= ~Bit;
+}
+
+void Machine::rebuildWaitBits() {
+  std::fill(InWait.begin(), InWait.end(), 0);
+  std::fill(OutWait.begin(), OutWait.end(), 0);
+  for (unsigned P = 0, NP = static_cast<unsigned>(Procs.size()); P != NP; ++P)
+    if (Procs[P].St == ProcState::Status::Blocked)
+      addWaitBits(P);
+}
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation (compiled bytecode)
 //===----------------------------------------------------------------------===//
 
 namespace {
@@ -144,238 +191,280 @@ bool exprIsAllocation(const Expr *E) {
   }
 }
 
+SourceLoc plainStoreTargetLoc(const CInst &I) {
+  return ast_cast<MatchPattern>(I.Src->LHS)->getValue()->getLoc();
+}
+
 } // namespace
 
-std::optional<Value> Machine::evalExpr(unsigned ProcIndex, const Expr *E) {
-  ProcState &P = Procs[ProcIndex];
-  switch (E->getKind()) {
-  case ExprKind::IntLit:
-    return Value::makeInt(ast_cast<IntLitExpr>(E)->getValue());
-  case ExprKind::BoolLit:
-    return Value::makeBool(ast_cast<BoolLitExpr>(E)->getValue());
-  case ExprKind::SelfId:
-    return Value::makeInt(Module.Procs[ProcIndex].Proc->ProcessId);
-  case ExprKind::VarRef: {
-    const VarRefExpr *V = ast_cast<VarRefExpr>(E);
-    if (const ConstDecl *C = V->getConst())
-      return C->ConstType->isBool() ? Value::makeBool(C->Value != 0)
-                                    : Value::makeInt(C->Value);
-    const Value &Slot = P.Slots[V->getVar()->Slot];
-    if (Slot.isUninit()) {
-      fail(RuntimeErrorKind::UninitializedRead, E->getLoc(), ProcIndex,
-           "read of uninitialized variable '" + V->getName() + "'");
-      return std::nullopt;
+bool Machine::evalCode(unsigned ProcIndex, XRange R, Value &Result) {
+  const CompiledProc &CProc = CP.Procs[ProcIndex];
+  std::vector<Value> &XS = EvalStack;
+  const size_t Base = XS.size();
+  auto failEval = [&](RuntimeErrorKind Kind, SourceLoc Loc, std::string Msg) {
+    fail(Kind, Loc, static_cast<int>(ProcIndex), std::move(Msg));
+    XS.resize(Base);
+    return false;
+  };
+  for (uint32_t IP = R.Begin; IP != R.End;) {
+    const XOp &Op = CProc.Code[IP];
+    switch (Op.Op) {
+    case XOp::K::PushInt:
+      XS.push_back(Value::makeInt(Op.Imm));
+      break;
+    case XOp::K::PushBool:
+      XS.push_back(Value::makeBool(Op.Imm != 0));
+      break;
+    case XOp::K::LoadSlot: {
+      const Value &Slot = Procs[ProcIndex].Slots[Op.A];
+      if (Slot.isUninit())
+        return failEval(RuntimeErrorKind::UninitializedRead,
+                        Op.Origin->getLoc(),
+                        "read of uninitialized variable '" +
+                            ast_cast<VarRefExpr>(Op.Origin)->getName() + "'");
+      XS.push_back(Slot);
+      break;
     }
-    return Slot;
-  }
-  case ExprKind::Field: {
-    const FieldExpr *F = ast_cast<FieldExpr>(E);
-    std::optional<Value> Base = evalExpr(ProcIndex, F->getBase());
-    if (!Base)
-      return std::nullopt;
-    HeapObject *Obj = H.deref(*Base);
-    if (!Obj) {
-      fail(RuntimeErrorKind::UseAfterFree, E->getLoc(), ProcIndex,
-           "field access on freed object");
-      return std::nullopt;
+    case XOp::K::LoadField: {
+      HeapObject *Obj = H.deref(XS.back());
+      if (!Obj)
+        return failEval(RuntimeErrorKind::UseAfterFree, Op.Origin->getLoc(),
+                        "field access on freed object");
+      XS.back() = Obj->Elems[Op.A];
+      break;
     }
-    if (Obj->ObjType->isUnion()) {
-      if (Obj->Arm != F->getFieldIndex()) {
-        fail(RuntimeErrorKind::InvalidUnionField, E->getLoc(), ProcIndex,
-             "union field '" + F->getFieldName() + "' is not the valid field");
-        return std::nullopt;
+    case XOp::K::LoadUnionField: {
+      HeapObject *Obj = H.deref(XS.back());
+      if (!Obj)
+        return failEval(RuntimeErrorKind::UseAfterFree, Op.Origin->getLoc(),
+                        "field access on freed object");
+      if (Obj->Arm != static_cast<int32_t>(Op.A))
+        return failEval(
+            RuntimeErrorKind::InvalidUnionField, Op.Origin->getLoc(),
+            "union field '" +
+                ast_cast<FieldExpr>(Op.Origin)->getFieldName() +
+                "' is not the valid field");
+      XS.back() = Obj->Elems[0];
+      break;
+    }
+    case XOp::K::LoadIndex: {
+      Value Index = XS.back();
+      XS.pop_back();
+      HeapObject *Obj = H.deref(XS.back());
+      if (!Obj)
+        return failEval(RuntimeErrorKind::UseAfterFree, Op.Origin->getLoc(),
+                        "index access on freed object");
+      if (Index.Scalar < 0 ||
+          Index.Scalar >= static_cast<int64_t>(Obj->Elems.size()))
+        return failEval(RuntimeErrorKind::IndexOutOfBounds,
+                        Op.Origin->getLoc(),
+                        "index " + std::to_string(Index.Scalar) +
+                            " out of bounds for array of " +
+                            std::to_string(Obj->Elems.size()));
+      XS.back() = Obj->Elems[Index.Scalar];
+      break;
+    }
+    case XOp::K::Not:
+      XS.back() = Value::makeBool(!XS.back().asBool());
+      break;
+    case XOp::K::Neg:
+      XS.back() = Value::makeInt(-XS.back().Scalar);
+      break;
+    case XOp::K::Add: {
+      Value Rv = XS.back();
+      XS.pop_back();
+      XS.back() = Value::makeInt(XS.back().Scalar + Rv.Scalar);
+      break;
+    }
+    case XOp::K::Sub: {
+      Value Rv = XS.back();
+      XS.pop_back();
+      XS.back() = Value::makeInt(XS.back().Scalar - Rv.Scalar);
+      break;
+    }
+    case XOp::K::Mul: {
+      Value Rv = XS.back();
+      XS.pop_back();
+      XS.back() = Value::makeInt(XS.back().Scalar * Rv.Scalar);
+      break;
+    }
+    case XOp::K::Div:
+    case XOp::K::Mod: {
+      Value Rv = XS.back();
+      XS.pop_back();
+      if (Rv.Scalar == 0)
+        return failEval(RuntimeErrorKind::DivideByZero, Op.Origin->getLoc(),
+                        "division by zero");
+      XS.back() = Value::makeInt(Op.Op == XOp::K::Div
+                                     ? XS.back().Scalar / Rv.Scalar
+                                     : XS.back().Scalar % Rv.Scalar);
+      break;
+    }
+    case XOp::K::Lt: {
+      Value Rv = XS.back();
+      XS.pop_back();
+      XS.back() = Value::makeBool(XS.back().Scalar < Rv.Scalar);
+      break;
+    }
+    case XOp::K::Le: {
+      Value Rv = XS.back();
+      XS.pop_back();
+      XS.back() = Value::makeBool(XS.back().Scalar <= Rv.Scalar);
+      break;
+    }
+    case XOp::K::Gt: {
+      Value Rv = XS.back();
+      XS.pop_back();
+      XS.back() = Value::makeBool(XS.back().Scalar > Rv.Scalar);
+      break;
+    }
+    case XOp::K::Ge: {
+      Value Rv = XS.back();
+      XS.pop_back();
+      XS.back() = Value::makeBool(XS.back().Scalar >= Rv.Scalar);
+      break;
+    }
+    case XOp::K::Eq: {
+      Value Rv = XS.back();
+      XS.pop_back();
+      XS.back() = Value::makeBool(XS.back().Scalar == Rv.Scalar);
+      break;
+    }
+    case XOp::K::Ne: {
+      Value Rv = XS.back();
+      XS.pop_back();
+      XS.back() = Value::makeBool(XS.back().Scalar != Rv.Scalar);
+      break;
+    }
+    case XOp::K::Boolify:
+      XS.back() = Value::makeBool(XS.back().asBool());
+      break;
+    case XOp::K::AndJump:
+      if (!XS.back().asBool()) {
+        XS.back() = Value::makeBool(false);
+        IP = Op.A;
+        continue;
       }
-      return Obj->Elems[0];
-    }
-    return Obj->Elems[F->getFieldIndex()];
-  }
-  case ExprKind::Index: {
-    const IndexExpr *I = ast_cast<IndexExpr>(E);
-    std::optional<Value> Base = evalExpr(ProcIndex, I->getBase());
-    std::optional<Value> Index = evalExpr(ProcIndex, I->getIndex());
-    if (!Base || !Index)
-      return std::nullopt;
-    HeapObject *Obj = H.deref(*Base);
-    if (!Obj) {
-      fail(RuntimeErrorKind::UseAfterFree, E->getLoc(), ProcIndex,
-           "index access on freed object");
-      return std::nullopt;
-    }
-    if (Index->Scalar < 0 ||
-        Index->Scalar >= static_cast<int64_t>(Obj->Elems.size())) {
-      fail(RuntimeErrorKind::IndexOutOfBounds, E->getLoc(), ProcIndex,
-           "index " + std::to_string(Index->Scalar) + " out of bounds for "
-               "array of " + std::to_string(Obj->Elems.size()));
-      return std::nullopt;
-    }
-    return Obj->Elems[Index->Scalar];
-  }
-  case ExprKind::Unary: {
-    const UnaryExpr *U = ast_cast<UnaryExpr>(E);
-    std::optional<Value> Sub = evalExpr(ProcIndex, U->getSub());
-    if (!Sub)
-      return std::nullopt;
-    if (U->getOp() == UnaryOp::Not)
-      return Value::makeBool(!Sub->asBool());
-    return Value::makeInt(-Sub->Scalar);
-  }
-  case ExprKind::Binary: {
-    const BinaryExpr *B = ast_cast<BinaryExpr>(E);
-    std::optional<Value> L = evalExpr(ProcIndex, B->getLHS());
-    if (!L)
-      return std::nullopt;
-    // Short-circuit logicals.
-    if (B->getOp() == BinaryOp::And && !L->asBool())
-      return Value::makeBool(false);
-    if (B->getOp() == BinaryOp::Or && L->asBool())
-      return Value::makeBool(true);
-    std::optional<Value> R = evalExpr(ProcIndex, B->getRHS());
-    if (!R)
-      return std::nullopt;
-    switch (B->getOp()) {
-    case BinaryOp::Add:
-      return Value::makeInt(L->Scalar + R->Scalar);
-    case BinaryOp::Sub:
-      return Value::makeInt(L->Scalar - R->Scalar);
-    case BinaryOp::Mul:
-      return Value::makeInt(L->Scalar * R->Scalar);
-    case BinaryOp::Div:
-    case BinaryOp::Mod:
-      if (R->Scalar == 0) {
-        fail(RuntimeErrorKind::DivideByZero, E->getLoc(), ProcIndex,
-             "division by zero");
-        return std::nullopt;
+      XS.pop_back();
+      break;
+    case XOp::K::OrJump:
+      if (XS.back().asBool()) {
+        XS.back() = Value::makeBool(true);
+        IP = Op.A;
+        continue;
       }
-      return Value::makeInt(B->getOp() == BinaryOp::Div
-                                ? L->Scalar / R->Scalar
-                                : L->Scalar % R->Scalar);
-    case BinaryOp::Lt:
-      return Value::makeBool(L->Scalar < R->Scalar);
-    case BinaryOp::Le:
-      return Value::makeBool(L->Scalar <= R->Scalar);
-    case BinaryOp::Gt:
-      return Value::makeBool(L->Scalar > R->Scalar);
-    case BinaryOp::Ge:
-      return Value::makeBool(L->Scalar >= R->Scalar);
-    case BinaryOp::Eq:
-      return Value::makeBool(L->Scalar == R->Scalar);
-    case BinaryOp::Ne:
-      return Value::makeBool(L->Scalar != R->Scalar);
-    case BinaryOp::And:
-    case BinaryOp::Or:
-      return Value::makeBool(R->asBool());
+      XS.pop_back();
+      break;
+    case XOp::K::AllocRecord: {
+      std::optional<Value> Obj = H.allocate(Op.Ty, Op.A);
+      if (!Obj)
+        return failEval(RuntimeErrorKind::OutOfObjects, Op.Origin->getLoc(),
+                        "object table exhausted while allocating record");
+      notifyAlloc(*Obj);
+      XS.push_back(*Obj);
+      break;
     }
-    return std::nullopt;
-  }
-  case ExprKind::RecordLit: {
-    const RecordLitExpr *R = ast_cast<RecordLitExpr>(E);
-    std::optional<Value> Obj = H.allocate(E->getType(), R->getElems().size());
-    if (!Obj) {
-      fail(RuntimeErrorKind::OutOfObjects, E->getLoc(), ProcIndex,
-           "object table exhausted while allocating record");
-      return std::nullopt;
-    }
-    for (size_t I = 0, N = R->getElems().size(); I != N; ++I) {
-      const Expr *Elem = R->getElems()[I];
-      std::optional<Value> V = evalExpr(ProcIndex, Elem);
-      if (!V)
-        return std::nullopt;
+    case XOp::K::SetElem: {
+      Value V = XS.back();
+      XS.pop_back();
       // Ownership of the construction edge: a freshly allocated child
       // donates its creation reference; a borrowed child is linked.
-      if (V->isRef() && !exprIsAllocation(Elem)) {
-        if (H.link(*V) != HeapStatus::OK) {
-          fail(RuntimeErrorKind::UseAfterFree, Elem->getLoc(), ProcIndex,
-               "storing freed object into record");
-          return std::nullopt;
+      if (V.isRef() && Op.Flag) {
+        if (H.link(V) != HeapStatus::OK)
+          return failEval(RuntimeErrorKind::UseAfterFree, Op.Origin->getLoc(),
+                          "storing freed object into record");
+      }
+      H.deref(XS.back())->Elems[Op.A] = V;
+      break;
+    }
+    case XOp::K::AllocUnion: {
+      std::optional<Value> Obj = H.allocate(Op.Ty, 1);
+      if (!Obj)
+        return failEval(RuntimeErrorKind::OutOfObjects, Op.Origin->getLoc(),
+                        "object table exhausted while allocating union");
+      notifyAlloc(*Obj);
+      XS.push_back(*Obj);
+      break;
+    }
+    case XOp::K::SetUnionElem: {
+      Value V = XS.back();
+      XS.pop_back();
+      if (V.isRef() && Op.Flag) {
+        if (H.link(V) != HeapStatus::OK)
+          return failEval(RuntimeErrorKind::UseAfterFree, Op.Origin->getLoc(),
+                          "storing freed object into union");
+      }
+      HeapObject *ObjPtr = H.deref(XS.back());
+      ObjPtr->Arm = static_cast<int32_t>(Op.A);
+      ObjPtr->Elems[0] = V;
+      break;
+    }
+    case XOp::K::AllocArray: {
+      Value Size = XS.back();
+      XS.pop_back();
+      if (Size.Scalar < 0)
+        return failEval(RuntimeErrorKind::IndexOutOfBounds,
+                        Op.Origin->getLoc(), "negative array size");
+      std::optional<Value> Obj =
+          H.allocate(Op.Ty, static_cast<size_t>(Size.Scalar));
+      if (!Obj)
+        return failEval(RuntimeErrorKind::OutOfObjects, Op.Origin->getLoc(),
+                        "object table exhausted while allocating array");
+      notifyAlloc(*Obj);
+      XS.push_back(*Obj);
+      break;
+    }
+    case XOp::K::FillArray: {
+      Value Init = XS.back();
+      XS.pop_back();
+      Value Obj = XS.back();
+      size_t N = H.deref(Obj)->Elems.size();
+      if (Init.isRef()) {
+        // N construction edges: the creation reference covers the first
+        // (when fresh); the rest are links.
+        size_t LinksNeeded = Op.Flag ? N - 1 : N;
+        if (N == 0 && Op.Flag) {
+          // Zero-length array of a fresh object: drop the orphan temp.
+          dropValueTemp(Init, Op.Origin->getLoc(),
+                        static_cast<int>(ProcIndex));
+          LinksNeeded = 0;
+        }
+        for (size_t I = 0; I != LinksNeeded; ++I) {
+          if (H.link(Init) != HeapStatus::OK)
+            return failEval(RuntimeErrorKind::UseAfterFree,
+                            Op.Origin->getLoc(),
+                            "storing freed object into array");
         }
       }
-      H.deref(*Obj)->Elems[I] = *V;
+      HeapObject *ObjPtr = H.deref(Obj);
+      for (size_t I = 0; I != N; ++I)
+        ObjPtr->Elems[I] = Init;
+      break;
     }
-    return Obj;
-  }
-  case ExprKind::UnionLit: {
-    const UnionLitExpr *U = ast_cast<UnionLitExpr>(E);
-    std::optional<Value> Obj = H.allocate(E->getType(), 1);
-    if (!Obj) {
-      fail(RuntimeErrorKind::OutOfObjects, E->getLoc(), ProcIndex,
-           "object table exhausted while allocating union");
-      return std::nullopt;
-    }
-    std::optional<Value> V = evalExpr(ProcIndex, U->getValue());
-    if (!V)
-      return std::nullopt;
-    if (V->isRef() && !exprIsAllocation(U->getValue())) {
-      if (H.link(*V) != HeapStatus::OK) {
-        fail(RuntimeErrorKind::UseAfterFree, U->getValue()->getLoc(),
-             ProcIndex, "storing freed object into union");
-        return std::nullopt;
+    case XOp::K::CastCopy: {
+      Value Sub = XS.back();
+      XS.pop_back();
+      std::optional<Value> Copy = deepCopy(Sub);
+      if (!Copy) {
+        if (!Error)
+          fail(RuntimeErrorKind::OutOfObjects, Op.Origin->getLoc(),
+               static_cast<int>(ProcIndex),
+               "object table exhausted during cast");
+        XS.resize(Base);
+        return false;
       }
+      if (Op.Flag)
+        dropValueTemp(Sub, Op.Origin->getLoc(), static_cast<int>(ProcIndex));
+      XS.push_back(*Copy);
+      break;
     }
-    HeapObject *ObjPtr = H.deref(*Obj);
-    ObjPtr->Arm = U->getFieldIndex();
-    ObjPtr->Elems[0] = *V;
-    return Obj;
+    }
+    ++IP;
   }
-  case ExprKind::ArrayLit: {
-    const ArrayLitExpr *A = ast_cast<ArrayLitExpr>(E);
-    std::optional<Value> Size = evalExpr(ProcIndex, A->getSize());
-    if (!Size)
-      return std::nullopt;
-    if (Size->Scalar < 0) {
-      fail(RuntimeErrorKind::IndexOutOfBounds, E->getLoc(), ProcIndex,
-           "negative array size");
-      return std::nullopt;
-    }
-    size_t N = static_cast<size_t>(Size->Scalar);
-    std::optional<Value> Obj = H.allocate(E->getType(), N);
-    if (!Obj) {
-      fail(RuntimeErrorKind::OutOfObjects, E->getLoc(), ProcIndex,
-           "object table exhausted while allocating array");
-      return std::nullopt;
-    }
-    std::optional<Value> Init = evalExpr(ProcIndex, A->getInit());
-    if (!Init)
-      return std::nullopt;
-    if (Init->isRef()) {
-      // N construction edges: the creation reference covers the first
-      // (when fresh); the rest are links.
-      size_t LinksNeeded = exprIsAllocation(A->getInit()) ? N - 1 : N;
-      if (N == 0 && exprIsAllocation(A->getInit())) {
-        // Zero-length array of a fresh object: drop the orphan temp.
-        dropValueTemp(*Init, E->getLoc(), static_cast<int>(ProcIndex));
-        LinksNeeded = 0;
-      }
-      for (size_t I = 0; I != LinksNeeded; ++I) {
-        if (H.link(*Init) != HeapStatus::OK) {
-          fail(RuntimeErrorKind::UseAfterFree, A->getInit()->getLoc(),
-               ProcIndex, "storing freed object into array");
-          return std::nullopt;
-        }
-      }
-    }
-    HeapObject *ObjPtr = H.deref(*Obj);
-    for (size_t I = 0; I != N; ++I)
-      ObjPtr->Elems[I] = *Init;
-    return Obj;
-  }
-  case ExprKind::Cast: {
-    const CastExpr *C = ast_cast<CastExpr>(E);
-    std::optional<Value> Sub = evalExpr(ProcIndex, C->getSub());
-    if (!Sub)
-      return std::nullopt;
-    std::optional<Value> Copy = deepCopy(*Sub);
-    if (!Copy) {
-      if (!Error)
-        fail(RuntimeErrorKind::OutOfObjects, E->getLoc(), ProcIndex,
-             "object table exhausted during cast");
-      return std::nullopt;
-    }
-    if (exprIsAllocation(C->getSub()))
-      dropValueTemp(*Sub, E->getLoc(), static_cast<int>(ProcIndex));
-    return Copy;
-  }
-  }
-  return std::nullopt;
+  assert(XS.size() == Base + 1 && "expression bytecode left a bad stack");
+  Result = XS.back();
+  XS.pop_back();
+  return true;
 }
 
 std::optional<Value> Machine::deepCopy(const Value &V) {
@@ -395,6 +484,7 @@ std::optional<Value> Machine::deepCopy(const Value &V) {
   std::optional<Value> Obj = H.allocate(T, SrcElems.size());
   if (!Obj)
     return std::nullopt;
+  notifyAlloc(*Obj);
   for (size_t I = 0, N = SrcElems.size(); I != N; ++I) {
     std::optional<Value> Elem = deepCopy(SrcElems[I]);
     if (!Elem)
@@ -422,131 +512,89 @@ void Machine::dropSenderTemp(const Expr *OutExpr, const Value &V) {
 // Statements
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// Describes an lvalue chain destination: either a whole slot or an
-/// element of a heap object.
-struct LValueRef {
-  bool IsSlot = true;
-  unsigned Slot = 0;
-  Value Obj;        ///< Container object.
-  size_t ElemIndex = 0;
-};
-
-} // namespace
-
-bool Machine::execStore(unsigned ProcIndex, const Inst &I) {
-  std::optional<Value> RHS = evalExpr(ProcIndex, I.RHS);
-  if (!RHS)
+bool Machine::execStore(unsigned ProcIndex, const CInst &I) {
+  Value RHS;
+  if (!evalCode(ProcIndex, I.Code, RHS))
     return false;
-  if (I.PlainStore) {
-    const MatchPattern *M = ast_cast<MatchPattern>(I.LHS);
-    const Expr *Target = M->getValue();
-    // Resolve the destination.
-    if (const VarRefExpr *V = ast_dyn_cast<VarRefExpr>(Target)) {
-      Procs[ProcIndex].Slots[V->getVar()->Slot] = *RHS;
-      return true;
-    }
-    if (const FieldExpr *F = ast_dyn_cast<FieldExpr>(Target)) {
-      std::optional<Value> Base = evalExpr(ProcIndex, F->getBase());
-      if (!Base)
-        return false;
-      HeapObject *Obj = H.deref(*Base);
-      if (!Obj) {
-        fail(RuntimeErrorKind::UseAfterFree, Target->getLoc(), ProcIndex,
-             "store into freed object");
-        return false;
-      }
-      if (Obj->ObjType->isUnion()) {
-        Obj->Arm = F->getFieldIndex();
-        Obj->Elems[0] = *RHS;
-      } else {
-        Obj->Elems[F->getFieldIndex()] = *RHS;
-      }
-      return true;
-    }
-    const IndexExpr *Ix = ast_cast<IndexExpr>(Target);
-    std::optional<Value> Base = evalExpr(ProcIndex, Ix->getBase());
-    std::optional<Value> Index = evalExpr(ProcIndex, Ix->getIndex());
-    if (!Base || !Index)
+  switch (I.Store) {
+  case CInst::StoreKind::Slot:
+    Procs[ProcIndex].Slots[I.StoreA] = RHS;
+    return true;
+  case CInst::StoreKind::Field:
+  case CInst::StoreKind::UnionField: {
+    Value Base;
+    if (!evalCode(ProcIndex, I.StoreAddr, Base))
       return false;
-    HeapObject *Obj = H.deref(*Base);
+    HeapObject *Obj = H.deref(Base);
     if (!Obj) {
-      fail(RuntimeErrorKind::UseAfterFree, Target->getLoc(), ProcIndex,
-           "store into freed object");
+      fail(RuntimeErrorKind::UseAfterFree, plainStoreTargetLoc(I),
+           static_cast<int>(ProcIndex), "store into freed object");
       return false;
     }
-    if (Index->Scalar < 0 ||
-        Index->Scalar >= static_cast<int64_t>(Obj->Elems.size())) {
-      fail(RuntimeErrorKind::IndexOutOfBounds, Target->getLoc(), ProcIndex,
-           "store index out of bounds");
-      return false;
+    if (I.Store == CInst::StoreKind::UnionField) {
+      Obj->Arm = static_cast<int32_t>(I.StoreA);
+      Obj->Elems[0] = RHS;
+    } else {
+      Obj->Elems[I.StoreA] = RHS;
     }
-    Obj->Elems[Index->Scalar] = *RHS;
     return true;
   }
-
-  // Destructuring match. Local matches bind without acquiring references
-  // (assignment never manages reference counts, §4.4); a failed match is
-  // a runtime error.
-  std::vector<Value> Values = {*RHS};
-  if (!matchPattern(ProcIndex, I.LHS, Values, /*Commit=*/false)) {
-    if (!Error)
-      fail(RuntimeErrorKind::MatchFailed, I.Loc, ProcIndex,
-           "value does not match the left-hand-side pattern");
-    return false;
-  }
-  // Commit: write binder slots directly (no acquire for local matches).
-  struct Binder {
-    static bool commit(Machine &M, unsigned ProcIndex, const Pattern *P,
-                       const Value &V) {
-      switch (P->getKind()) {
-      case PatternKind::Bind:
-        M.Procs[ProcIndex].Slots[ast_cast<BindPattern>(P)->getVar()->Slot] = V;
-        return true;
-      case PatternKind::Match:
-        return true;
-      case PatternKind::Record: {
-        const RecordPattern *R = ast_cast<RecordPattern>(P);
-        const HeapObject *Obj = M.H.deref(V);
-        if (!Obj)
-          return false;
-        std::vector<Value> Elems = Obj->Elems;
-        for (size_t I = 0, N = R->getElems().size(); I != N; ++I)
-          if (!commit(M, ProcIndex, R->getElems()[I], Elems[I]))
-            return false;
-        return true;
-      }
-      case PatternKind::Union: {
-        const UnionPattern *U = ast_cast<UnionPattern>(P);
-        const HeapObject *Obj = M.H.deref(V);
-        if (!Obj)
-          return false;
-        Value Sub = Obj->Elems[0];
-        return commit(M, ProcIndex, U->getSub(), Sub);
-      }
-      }
+  case CInst::StoreKind::Index: {
+    Value Base, Index;
+    if (!evalCode(ProcIndex, I.StoreAddr, Base))
+      return false;
+    if (!evalCode(ProcIndex, I.StoreIdx, Index))
+      return false;
+    HeapObject *Obj = H.deref(Base);
+    if (!Obj) {
+      fail(RuntimeErrorKind::UseAfterFree, plainStoreTargetLoc(I),
+           static_cast<int>(ProcIndex), "store into freed object");
       return false;
     }
-  };
-  if (!Binder::commit(*this, ProcIndex, I.LHS, *RHS)) {
-    if (!Error)
-      fail(RuntimeErrorKind::UseAfterFree, I.Loc, ProcIndex,
-           "destructuring a freed object");
-    return false;
+    if (Index.Scalar < 0 ||
+        Index.Scalar >= static_cast<int64_t>(Obj->Elems.size())) {
+      fail(RuntimeErrorKind::IndexOutOfBounds, plainStoreTargetLoc(I),
+           static_cast<int>(ProcIndex), "store index out of bounds");
+      return false;
+    }
+    Obj->Elems[Index.Scalar] = RHS;
+    return true;
   }
-  // If the right-hand side was a fresh allocation, the match consumed it:
-  // release the creation reference (bound components survive only if
-  // they hold other references).
-  if (exprIsAllocation(I.RHS))
-    dropValueTemp(*RHS, I.Loc, static_cast<int>(ProcIndex));
-  return true;
+  case CInst::StoreKind::Destructure: {
+    // Destructuring match. Local matches bind without acquiring references
+    // (assignment never manages reference counts, §4.4); a failed match is
+    // a runtime error.
+    std::vector<Value> Values = {RHS};
+    if (!matchValues(ProcIndex, I.Pat, Values, MatchMode::Try)) {
+      if (!Error)
+        fail(RuntimeErrorKind::MatchFailed, I.Src->Loc,
+             static_cast<int>(ProcIndex),
+             "value does not match the left-hand-side pattern");
+      return false;
+    }
+    if (!matchValues(ProcIndex, I.Pat, Values, MatchMode::CommitLocal)) {
+      if (!Error)
+        fail(RuntimeErrorKind::UseAfterFree, I.Src->Loc,
+             static_cast<int>(ProcIndex), "destructuring a freed object");
+      return false;
+    }
+    // If the right-hand side was a fresh allocation, the match consumed
+    // it: release the creation reference (bound components survive only
+    // if they hold other references).
+    if (I.RhsIsAlloc)
+      dropValueTemp(RHS, I.Src->Loc, static_cast<int>(ProcIndex));
+    return true;
+  }
+  case CInst::StoreKind::None:
+    break;
+  }
+  return false;
 }
 
 void Machine::runToBlock(unsigned ProcIndex) {
   ProcState &P = Procs[ProcIndex];
   assert(P.St == ProcState::Status::Ready && "process not runnable");
-  const ProcIR &PIR = Module.Procs[ProcIndex];
+  const CompiledProc &CProc = CP.Procs[ProcIndex];
   uint64_t Steps = 0;
   while (true) {
     if (Error) {
@@ -555,20 +603,20 @@ void Machine::runToBlock(unsigned ProcIndex) {
       return;
     }
     if (++Steps > Options.LocalStepLimit) {
-      fail(RuntimeErrorKind::StepLimit, PIR.Insts[P.PC].Loc,
+      fail(RuntimeErrorKind::StepLimit, CProc.Insts[P.PC].Src->Loc,
            static_cast<int>(ProcIndex),
-           "process '" + PIR.Proc->Name +
+           "process '" + Module.Procs[ProcIndex].Proc->Name +
                "' exceeded the local step limit (infinite local loop?)");
       return;
     }
-    const Inst &I = PIR.Insts[P.PC];
+    const CInst &I = CProc.Insts[P.PC];
     ++Stats.Instructions;
     switch (I.Kind) {
     case InstKind::DeclInit: {
-      std::optional<Value> V = evalExpr(ProcIndex, I.RHS);
-      if (!V)
+      Value V;
+      if (!evalCode(ProcIndex, I.Code, V))
         return;
-      P.Slots[I.Var->Slot] = *V;
+      P.Slots[I.Slot] = V;
       ++P.PC;
       break;
     }
@@ -578,21 +626,21 @@ void Machine::runToBlock(unsigned ProcIndex) {
       ++P.PC;
       break;
     case InstKind::Branch: {
-      std::optional<Value> Cond = evalExpr(ProcIndex, I.Cond);
-      if (!Cond)
+      Value Cond;
+      if (!evalCode(ProcIndex, I.Code, Cond))
         return;
-      P.PC = Cond->asBool() ? P.PC + 1 : I.Target;
+      P.PC = Cond.asBool() ? P.PC + 1 : I.Target;
       break;
     }
     case InstKind::Jump:
       P.PC = I.Target;
       break;
     case InstKind::Link: {
-      std::optional<Value> V = evalExpr(ProcIndex, I.RHS);
-      if (!V)
+      Value V;
+      if (!evalCode(ProcIndex, I.Code, V))
         return;
-      if (H.link(*V) != HeapStatus::OK) {
-        fail(RuntimeErrorKind::UseAfterFree, I.Loc,
+      if (H.link(V) != HeapStatus::OK) {
+        fail(RuntimeErrorKind::UseAfterFree, I.Src->Loc,
              static_cast<int>(ProcIndex), "link of freed object");
         return;
       }
@@ -600,11 +648,11 @@ void Machine::runToBlock(unsigned ProcIndex) {
       break;
     }
     case InstKind::Unlink: {
-      std::optional<Value> V = evalExpr(ProcIndex, I.RHS);
-      if (!V)
+      Value V;
+      if (!evalCode(ProcIndex, I.Code, V))
         return;
-      if (H.unlink(*V) != HeapStatus::OK) {
-        fail(RuntimeErrorKind::UseAfterFree, I.Loc,
+      if (H.unlink(V) != HeapStatus::OK) {
+        fail(RuntimeErrorKind::UseAfterFree, I.Src->Loc,
              static_cast<int>(ProcIndex), "unlink of freed object");
         return;
       }
@@ -612,13 +660,14 @@ void Machine::runToBlock(unsigned ProcIndex) {
       break;
     }
     case InstKind::Assert: {
-      std::optional<Value> Cond = evalExpr(ProcIndex, I.Cond);
-      if (!Cond)
+      Value Cond;
+      if (!evalCode(ProcIndex, I.Code, Cond))
         return;
-      if (!Cond->asBool()) {
-        fail(RuntimeErrorKind::AssertFailed, I.Loc,
+      if (!Cond.asBool()) {
+        fail(RuntimeErrorKind::AssertFailed, I.Src->Loc,
              static_cast<int>(ProcIndex),
-             "assertion failed in process '" + PIR.Proc->Name + "'");
+             "assertion failed in process '" +
+                 Module.Procs[ProcIndex].Proc->Name + "'");
         return;
       }
       ++P.PC;
@@ -637,18 +686,18 @@ void Machine::runToBlock(unsigned ProcIndex) {
 
 void Machine::prepareBlock(unsigned ProcIndex) {
   ProcState &P = Procs[ProcIndex];
-  const Inst &I = Module.Procs[ProcIndex].Insts[P.PC];
+  const CInst &I = CP.Procs[ProcIndex].Insts[P.PC];
   size_t N = I.Cases.size();
   P.CaseEnabled.assign(N, false);
   P.Prepared.assign(N, {});
   P.PreparedValid.assign(N, false);
   for (size_t C = 0; C != N; ++C) {
-    const IRCase &Case = I.Cases[C];
-    if (Case.Guard) {
-      std::optional<Value> G = evalExpr(ProcIndex, Case.Guard);
-      if (!G)
+    const CCase &Case = I.Cases[C];
+    if (!Case.Guard.empty()) {
+      Value G;
+      if (!evalCode(ProcIndex, Case.Guard, G))
         return;
-      P.CaseEnabled[C] = G->asBool();
+      P.CaseEnabled[C] = G.asBool();
     } else {
       P.CaseEnabled[C] = true;
     }
@@ -660,6 +709,7 @@ void Machine::prepareBlock(unsigned ProcIndex) {
       return;
     (void)Values;
   }
+  addWaitBits(ProcIndex);
 }
 
 bool Machine::outValues(unsigned ProcIndex, unsigned CaseIndex,
@@ -669,22 +719,20 @@ bool Machine::outValues(unsigned ProcIndex, unsigned CaseIndex,
     Values = P.Prepared[CaseIndex];
     return true;
   }
-  const Inst &I = Module.Procs[ProcIndex].Insts[P.PC];
-  const IRCase &Case = I.Cases[CaseIndex];
+  const CCase &Case = CP.Procs[ProcIndex].Insts[P.PC].Cases[CaseIndex];
   Values.clear();
   if (Case.ElideRecordAlloc) {
-    const RecordLitExpr *R = ast_cast<RecordLitExpr>(Case.Out);
-    for (const Expr *Elem : R->getElems()) {
-      std::optional<Value> V = evalExpr(ProcIndex, Elem);
-      if (!V)
+    for (const XRange &FieldCode : Case.ElideFields) {
+      Value V;
+      if (!evalCode(ProcIndex, FieldCode, V))
         return false;
-      Values.push_back(*V);
+      Values.push_back(V);
     }
   } else {
-    std::optional<Value> V = evalExpr(ProcIndex, Case.Out);
-    if (!V)
+    Value V;
+    if (!evalCode(ProcIndex, Case.Out, V))
       return false;
-    Values.push_back(*V);
+    Values.push_back(V);
   }
   P.Prepared[CaseIndex] = Values;
   P.PreparedValid[CaseIndex] = true;
@@ -692,18 +740,19 @@ bool Machine::outValues(unsigned ProcIndex, unsigned CaseIndex,
 }
 
 void Machine::releaseLosingCases(unsigned ProcIndex, unsigned WinnerCase) {
+  clearWaitBits(ProcIndex);
   ProcState &P = Procs[ProcIndex];
-  const Inst &I = Module.Procs[ProcIndex].Insts[P.PC];
+  const CInst &I = CP.Procs[ProcIndex].Insts[P.PC];
   for (size_t C = 0, N = I.Cases.size(); C != N; ++C) {
     if (C == WinnerCase || !P.PreparedValid[C])
       continue;
-    const IRCase &Case = I.Cases[C];
+    const CCase &Case = I.Cases[C];
     if (Case.ElideRecordAlloc) {
-      const RecordLitExpr *R = ast_cast<RecordLitExpr>(Case.Out);
+      const RecordLitExpr *R = ast_cast<RecordLitExpr>(Case.Src->Out);
       for (size_t F = 0, NF = R->getElems().size(); F != NF; ++F)
         dropSenderTemp(R->getElems()[F], P.Prepared[C][F]);
-    } else if (Case.Out) {
-      dropSenderTemp(Case.Out, P.Prepared[C][0]);
+    } else if (Case.Src->Out) {
+      dropSenderTemp(Case.Src->Out, P.Prepared[C][0]);
     }
   }
   P.Prepared.clear();
@@ -728,72 +777,109 @@ std::optional<Value> Machine::receiverAcquire(const Value &V) {
   return V;
 }
 
-bool Machine::matchOne(unsigned ReaderIndex, const Pattern *Pat,
-                       const Value &V, bool Commit) {
-  ++Stats.PatternMatchesTried;
-  switch (Pat->getKind()) {
-  case PatternKind::Bind: {
-    if (!Commit)
+bool Machine::matchC(unsigned ReaderIndex, uint32_t PatIndex, const Value &V,
+                     MatchMode Mode) {
+  const CompiledProc &CProc = CP.Procs[ReaderIndex];
+  const CPat &Pat = CProc.Pats[PatIndex];
+  if (Mode != MatchMode::CommitLocal)
+    ++Stats.PatternMatchesTried;
+  switch (Pat.Kind) {
+  case PatternKind::Bind:
+    switch (Mode) {
+    case MatchMode::Try:
       return true;
-    std::optional<Value> Acquired = receiverAcquire(V);
-    if (!Acquired)
-      return false;
-    Procs[ReaderIndex].Slots[ast_cast<BindPattern>(Pat)->getVar()->Slot] =
-        *Acquired;
-    return true;
-  }
+    case MatchMode::CommitAcquire: {
+      std::optional<Value> Acquired = receiverAcquire(V);
+      if (!Acquired)
+        return false;
+      Procs[ReaderIndex].Slots[Pat.Slot] = *Acquired;
+      return true;
+    }
+    case MatchMode::CommitLocal:
+      Procs[ReaderIndex].Slots[Pat.Slot] = V;
+      return true;
+    }
+    return false;
   case PatternKind::Match: {
-    if (Commit)
+    if (Mode != MatchMode::Try)
       return true; // Verified during the dry run.
-    std::optional<Value> Expected =
-        evalExpr(ReaderIndex, ast_cast<MatchPattern>(Pat)->getValue());
-    if (!Expected)
+    if (Pat.IsStatic)
+      return Pat.Const == V.Scalar;
+    Value Expected;
+    if (!evalCode(ReaderIndex, Pat.Code, Expected))
       return false;
-    return Expected->Scalar == V.Scalar;
+    return Expected.Scalar == V.Scalar;
   }
   case PatternKind::Record: {
-    const RecordPattern *R = ast_cast<RecordPattern>(Pat);
     const HeapObject *Obj = H.deref(V);
     if (!Obj) {
-      fail(RuntimeErrorKind::UseAfterFree, Pat->getLoc(),
-           static_cast<int>(ReaderIndex), "matching a freed object");
+      if (Mode != MatchMode::CommitLocal)
+        fail(RuntimeErrorKind::UseAfterFree, Pat.Src->getLoc(),
+             static_cast<int>(ReaderIndex), "matching a freed object");
       return false;
     }
-    std::vector<Value> Elems = Obj->Elems;
-    for (size_t I = 0, N = R->getElems().size(); I != N; ++I)
-      if (!matchOne(ReaderIndex, R->getElems()[I], Elems[I], Commit))
+    for (uint32_t I = 0; I != Pat.NumChildren; ++I) {
+      // Re-dereference per child: a commit's deep copy may reallocate the
+      // object table.
+      Value Elem = H.deref(V)->Elems[I];
+      if (!matchC(ReaderIndex, CProc.PatChildren[Pat.ChildBegin + I], Elem,
+                  Mode))
         return false;
+    }
     return true;
   }
   case PatternKind::Union: {
-    const UnionPattern *U = ast_cast<UnionPattern>(Pat);
     const HeapObject *Obj = H.deref(V);
     if (!Obj) {
-      fail(RuntimeErrorKind::UseAfterFree, Pat->getLoc(),
-           static_cast<int>(ReaderIndex), "matching a freed object");
+      if (Mode != MatchMode::CommitLocal)
+        fail(RuntimeErrorKind::UseAfterFree, Pat.Src->getLoc(),
+             static_cast<int>(ReaderIndex), "matching a freed object");
       return false;
     }
-    if (Obj->Arm != U->getFieldIndex())
+    if (Obj->Arm != Pat.Arm)
       return false;
     Value Sub = Obj->Elems[0];
-    return matchOne(ReaderIndex, U->getSub(), Sub, Commit);
+    return matchC(ReaderIndex, CProc.PatChildren[Pat.ChildBegin], Sub, Mode);
   }
   }
   return false;
 }
 
-bool Machine::matchPattern(unsigned ReaderIndex, const Pattern *Pat,
-                           const std::vector<Value> &Values, bool Commit) {
+bool Machine::matchValues(unsigned ReaderIndex, uint32_t PatIndex,
+                          const std::vector<Value> &Values, MatchMode Mode) {
   if (Values.size() == 1)
-    return matchOne(ReaderIndex, Pat, Values[0], Commit);
+    return matchC(ReaderIndex, PatIndex, Values[0], Mode);
   // Elided record: the pattern is guaranteed to be a record pattern.
-  const RecordPattern *R = ast_cast<RecordPattern>(Pat);
-  assert(R->getElems().size() == Values.size() &&
-         "elided field count mismatch");
+  const CompiledProc &CProc = CP.Procs[ReaderIndex];
+  const CPat &Pat = CProc.Pats[PatIndex];
+  assert(Pat.Kind == PatternKind::Record &&
+         Pat.NumChildren == Values.size() && "elided field count mismatch");
   for (size_t I = 0, N = Values.size(); I != N; ++I)
-    if (!matchOne(ReaderIndex, R->getElems()[I], Values[I], Commit))
+    if (!matchC(ReaderIndex, CProc.PatChildren[Pat.ChildBegin + I],
+                Values[I], Mode))
       return false;
   return true;
+}
+
+Machine::MsgDisc
+Machine::discOfValues(const std::vector<Value> &Values) const {
+  MsgDisc D;
+  if (Values.size() != 1)
+    return D;
+  const Value &V = Values[0];
+  if (V.isRef()) {
+    const HeapObject *Obj = H.deref(V);
+    if (Obj && Obj->ObjType->isUnion()) {
+      D.Kind = MsgDisc::K::UnionArm;
+      D.Arm = Obj->Arm;
+    }
+    return D;
+  }
+  if (V.K == Value::Kind::Int || V.K == Value::Kind::Bool) {
+    D.Kind = MsgDisc::K::Scalar;
+    D.Scalar = V.Scalar;
+  }
+  return D;
 }
 
 //===----------------------------------------------------------------------===//
@@ -805,11 +891,10 @@ bool Machine::transfer(int WriterIndex, unsigned WriterCase, int ReaderIndex,
                        const std::vector<Value> *EnvValues) {
   // 1. Obtain the value(s) from the writer side.
   std::vector<Value> Values;
-  const IRCase *WCase = nullptr;
+  const CCase *WCase = nullptr;
   if (WriterIndex >= 0) {
-    const Inst &I =
-        Module.Procs[WriterIndex].Insts[Procs[WriterIndex].PC];
-    WCase = &I.Cases[WriterCase];
+    WCase = &CP.Procs[WriterIndex].Insts[Procs[WriterIndex].PC]
+                 .Cases[WriterCase];
     if (!outValues(static_cast<unsigned>(WriterIndex), WriterCase, Values))
       return false;
   } else {
@@ -818,31 +903,37 @@ bool Machine::transfer(int WriterIndex, unsigned WriterCase, int ReaderIndex,
   }
 
   // 2. Deliver to the reader side.
+  const CCase *RCase = nullptr;
   if (ReaderIndex >= 0) {
-    const Inst &I =
-        Module.Procs[ReaderIndex].Insts[Procs[ReaderIndex].PC];
-    const IRCase &RCase = I.Cases[ReaderCase];
-    if (!matchPattern(static_cast<unsigned>(ReaderIndex), RCase.Pat, Values,
-                      /*Commit=*/false)) {
+    RCase = &CP.Procs[ReaderIndex].Insts[Procs[ReaderIndex].PC]
+                 .Cases[ReaderCase];
+    if (!matchValues(static_cast<unsigned>(ReaderIndex), RCase->Pat, Values,
+                     MatchMode::Try)) {
       if (!Error)
-        fail(RuntimeErrorKind::NoMatchingPattern, RCase.Loc, ReaderIndex,
+        fail(RuntimeErrorKind::NoMatchingPattern, RCase->Src->Loc,
+             ReaderIndex,
              "committed transfer does not match the reader pattern");
       return false;
     }
-    if (!matchPattern(static_cast<unsigned>(ReaderIndex), RCase.Pat, Values,
-                      /*Commit=*/true))
+    if (!matchValues(static_cast<unsigned>(ReaderIndex), RCase->Pat, Values,
+                     MatchMode::CommitAcquire))
       return false;
   }
   ++Stats.Rendezvous;
+  if (Obs) {
+    uint32_t Chan = WCase ? WCase->ChanId : RCase->ChanId;
+    Obs->onSend(*this, Chan, WriterIndex);
+    Obs->onRecv(*this, Chan, ReaderIndex);
+  }
 
   // 3. Writer-side cleanup and advance.
   if (WriterIndex >= 0) {
     if (WCase->ElideRecordAlloc) {
-      const RecordLitExpr *R = ast_cast<RecordLitExpr>(WCase->Out);
+      const RecordLitExpr *R = ast_cast<RecordLitExpr>(WCase->Src->Out);
       for (size_t F = 0, NF = R->getElems().size(); F != NF; ++F)
         dropSenderTemp(R->getElems()[F], Values[F]);
     } else {
-      dropSenderTemp(WCase->Out, Values[0]);
+      dropSenderTemp(WCase->Src->Out, Values[0]);
     }
     unsigned Target = WCase->Target;
     releaseLosingCases(static_cast<unsigned>(WriterIndex), WriterCase);
@@ -857,9 +948,7 @@ bool Machine::transfer(int WriterIndex, unsigned WriterCase, int ReaderIndex,
 
   // 4. Reader-side advance.
   if (ReaderIndex >= 0) {
-    const Inst &I =
-        Module.Procs[ReaderIndex].Insts[Procs[ReaderIndex].PC];
-    unsigned Target = I.Cases[ReaderCase].Target;
+    unsigned Target = RCase->Target;
     releaseLosingCases(static_cast<unsigned>(ReaderIndex), ReaderCase);
     Procs[ReaderIndex].PC = Target;
     Procs[ReaderIndex].St = ProcState::Status::Ready;
@@ -885,9 +974,9 @@ int Machine::popReady() {
 }
 
 bool Machine::tryExternalOut(unsigned ProcIndex, unsigned CaseIndex) {
-  const Inst &I = Module.Procs[ProcIndex].Insts[Procs[ProcIndex].PC];
-  const IRCase &Case = I.Cases[CaseIndex];
-  ExternalReader *Reader = Readers[Case.Channel->Id].get();
+  const CCase &Case =
+      CP.Procs[ProcIndex].Insts[Procs[ProcIndex].PC].Cases[CaseIndex];
+  ExternalReader *Reader = Readers[Case.ChanId].get();
   if (!Reader || !Reader->isReady())
     return false;
   std::vector<Value> Values;
@@ -895,7 +984,7 @@ bool Machine::tryExternalOut(unsigned ProcIndex, unsigned CaseIndex) {
     return false;
   // Dispatch over the interface cases to find the matching one and
   // extract its binder-leaf values.
-  const InterfaceDecl *Iface = Case.Channel->Interface;
+  const InterfaceDecl *Iface = Case.Src->Channel->Interface;
   assert(Iface && "external-reader channel without interface");
   assert(!Case.ElideRecordAlloc &&
          "record elision is disabled on external channels");
@@ -909,16 +998,20 @@ bool Machine::tryExternalOut(unsigned ProcIndex, unsigned CaseIndex) {
     }
     Reader->consume(static_cast<int>(C) + 1, H, Binders);
     ++Stats.ExternalConsumes;
-    dropSenderTemp(Case.Out, V);
+    if (Obs) {
+      Obs->onSend(*this, Case.ChanId, static_cast<int>(ProcIndex));
+      Obs->onRecv(*this, Case.ChanId, -1);
+    }
+    dropSenderTemp(Case.Src->Out, V);
     unsigned Target = Case.Target;
     releaseLosingCases(ProcIndex, CaseIndex);
     Procs[ProcIndex].PC = Target;
     Procs[ProcIndex].St = ProcState::Status::Ready;
     return true;
   }
-  fail(RuntimeErrorKind::NoMatchingPattern, Case.Loc,
+  fail(RuntimeErrorKind::NoMatchingPattern, Case.Src->Loc,
        static_cast<int>(ProcIndex),
-       "message on external channel '" + Case.Channel->Name +
+       "message on external channel '" + Case.Src->Channel->Name +
            "' matches no interface case");
   return false;
 }
@@ -927,84 +1020,111 @@ bool Machine::tryPair(unsigned ProcIndex) {
   ProcState &P = Procs[ProcIndex];
   if (P.St != ProcState::Status::Blocked)
     return false;
-  const Inst &I = Module.Procs[ProcIndex].Insts[P.PC];
+  const CInst &I = CP.Procs[ProcIndex].Insts[P.PC];
   size_t N = I.Cases.size();
   for (size_t CO = 0; CO != N; ++CO) {
     // Rotate the starting case to avoid starving later alternatives.
     size_t C = (CO + PollRotor) % N;
     if (!P.CaseEnabled[C])
       continue;
-    const IRCase &Case = I.Cases[C];
+    const CCase &Case = I.Cases[C];
     if (Case.IsIn) {
-      // Find a blocked internal writer whose value matches our pattern.
-      for (unsigned W = 0, NP = Procs.size(); W != NP; ++W) {
-        if (W == ProcIndex || Procs[W].St != ProcState::Status::Blocked)
-          continue;
-        const Inst &WI = Module.Procs[W].Insts[Procs[W].PC];
-        for (size_t WC = 0, NW = WI.Cases.size(); WC != NW; ++WC) {
-          const IRCase &WCase = WI.Cases[WC];
-          if (WCase.IsIn || WCase.Channel != Case.Channel ||
-              !Procs[W].CaseEnabled[WC])
+      // Scan the channel's blocked-writer bitmask (LSB-first, so writers
+      // are visited in ascending process order, same as the old scan).
+      const uint64_t *Mask = outWait(Case.ChanId);
+      for (unsigned Word = 0; Word != CP.MaskWords; ++Word) {
+        for (uint64_t Bits = Mask[Word]; Bits; Bits &= Bits - 1) {
+          unsigned W =
+              Word * 64 + static_cast<unsigned>(std::countr_zero(Bits));
+          if (W == ProcIndex || Procs[W].St != ProcState::Status::Blocked)
             continue;
-          // A MatchFree lazy writer pairs without materializing its
-          // value: allocation is postponed to the commit (§6.1).
-          if (!(WCase.LazyOut && WCase.MatchFree)) {
-            std::vector<Value> Values;
-            if (!outValues(W, static_cast<unsigned>(WC), Values))
-              return false;
-            if (!matchPattern(ProcIndex, Case.Pat, Values,
-                              /*Commit=*/false)) {
-              if (Error)
-                return false;
+          const CInst &WI = CP.Procs[W].Insts[Procs[W].PC];
+          for (size_t WC = 0, NW = WI.Cases.size(); WC != NW; ++WC) {
+            const CCase &WCase = WI.Cases[WC];
+            if (WCase.IsIn || WCase.ChanId != Case.ChanId ||
+                !Procs[W].CaseEnabled[WC])
               continue;
+            // A MatchFree lazy writer pairs without materializing its
+            // value: allocation is postponed to the commit (§6.1).
+            if (!(WCase.LazyOut && WCase.MatchFree)) {
+              std::vector<Value> Values;
+              if (!outValues(W, static_cast<unsigned>(WC), Values))
+                return false;
+              if (discRejects(Case.Disc, discOfValues(Values)))
+                continue;
+              if (!matchValues(ProcIndex, Case.Pat, Values,
+                               MatchMode::Try)) {
+                if (Error)
+                  return false;
+                continue;
+              }
             }
+            if (!transfer(static_cast<int>(W), static_cast<unsigned>(WC),
+                          static_cast<int>(ProcIndex),
+                          static_cast<unsigned>(C), nullptr))
+              return false;
+            // Stack-based policy: the peer joins the ready queue; the
+            // initiator goes to the front so the next pop continues it.
+            ReadyQueue.push_back(W);
+            ReadyQueue.push_front(ProcIndex);
+            return true;
           }
-          if (!transfer(static_cast<int>(W), static_cast<unsigned>(WC),
-                        static_cast<int>(ProcIndex),
-                        static_cast<unsigned>(C), nullptr))
-            return false;
-          // Stack-based policy: the peer joins the ready queue; the
-          // initiator goes to the front so the next pop continues it.
-          ReadyQueue.push_back(W);
-          ReadyQueue.push_front(ProcIndex);
-          return true;
         }
       }
     } else {
       // Find the blocked internal reader whose pattern matches our value;
-      // two matching readers is a dispatch-disjointness violation.
+      // two matching readers is a dispatch-disjointness violation. When
+      // the channel's reader patterns are statically disjoint the first
+      // match is provably the only one and the scan stops there.
       const bool NeedValue = !(Case.LazyOut && Case.MatchFree);
       std::vector<Value> Values;
       if (NeedValue &&
           !outValues(ProcIndex, static_cast<unsigned>(C), Values))
         return false;
+      MsgDisc D;
+      if (NeedValue)
+        D = discOfValues(Values);
       int FoundReader = -1;
       unsigned FoundCase = 0;
-      for (unsigned R = 0, NP = Procs.size(); R != NP; ++R) {
-        if (R == ProcIndex || Procs[R].St != ProcState::Status::Blocked)
-          continue;
-        const Inst &RI = Module.Procs[R].Insts[Procs[R].PC];
-        for (size_t RC = 0, NR = RI.Cases.size(); RC != NR; ++RC) {
-          const IRCase &RCase = RI.Cases[RC];
-          if (!RCase.IsIn || RCase.Channel != Case.Channel ||
-              !Procs[R].CaseEnabled[RC])
+      const bool Disjoint = CP.Channels[Case.ChanId].Disjoint;
+      bool Stop = false;
+      const uint64_t *Mask = inWait(Case.ChanId);
+      for (unsigned Word = 0; Word != CP.MaskWords && !Stop; ++Word) {
+        for (uint64_t Bits = Mask[Word]; Bits && !Stop; Bits &= Bits - 1) {
+          unsigned R =
+              Word * 64 + static_cast<unsigned>(std::countr_zero(Bits));
+          if (R == ProcIndex || Procs[R].St != ProcState::Status::Blocked)
             continue;
-          if (NeedValue &&
-              !matchPattern(R, RCase.Pat, Values, /*Commit=*/false)) {
-            if (Error)
+          const CInst &RI = CP.Procs[R].Insts[Procs[R].PC];
+          for (size_t RC = 0, NR = RI.Cases.size(); RC != NR; ++RC) {
+            const CCase &RCase = RI.Cases[RC];
+            if (!RCase.IsIn || RCase.ChanId != Case.ChanId ||
+                !Procs[R].CaseEnabled[RC])
+              continue;
+            if (NeedValue) {
+              if (discRejects(RCase.Disc, D))
+                continue;
+              if (!matchValues(R, RCase.Pat, Values, MatchMode::Try)) {
+                if (Error)
+                  return false;
+                continue;
+              }
+            }
+            if (FoundReader >= 0 && FoundReader != static_cast<int>(R)) {
+              fail(RuntimeErrorKind::AmbiguousDispatch, Case.Src->Loc,
+                   static_cast<int>(ProcIndex),
+                   "message on channel '" + Case.Src->Channel->Name +
+                       "' matches patterns in two processes");
               return false;
-            continue;
-          }
-          if (FoundReader >= 0 && FoundReader != static_cast<int>(R)) {
-            fail(RuntimeErrorKind::AmbiguousDispatch, Case.Loc,
-                 static_cast<int>(ProcIndex),
-                 "message on channel '" + Case.Channel->Name +
-                     "' matches patterns in two processes");
-            return false;
-          }
-          if (FoundReader < 0) {
-            FoundReader = static_cast<int>(R);
-            FoundCase = static_cast<unsigned>(RC);
+            }
+            if (FoundReader < 0) {
+              FoundReader = static_cast<int>(R);
+              FoundCase = static_cast<unsigned>(RC);
+              if (Disjoint) {
+                Stop = true;
+                break;
+              }
+            }
           }
         }
       }
@@ -1018,7 +1138,7 @@ bool Machine::tryPair(unsigned ProcIndex) {
         return true;
       }
       // Or hand it to an external reader.
-      if (Readers[Case.Channel->Id] &&
+      if (Readers[Case.ChanId] &&
           tryExternalOut(ProcIndex, static_cast<unsigned>(C))) {
         ReadyQueue.push_back(ProcIndex);
         return true;
@@ -1056,6 +1176,7 @@ Machine::buildFromInterfacePattern(const Pattern *Pat,
            "object table exhausted building external message");
       return std::nullopt;
     }
+    notifyAlloc(*Obj);
     for (size_t I = 0, N = R->getElems().size(); I != N; ++I) {
       std::optional<Value> Elem =
           buildFromInterfacePattern(R->getElems()[I], Binders, Next);
@@ -1075,6 +1196,7 @@ Machine::buildFromInterfacePattern(const Pattern *Pat,
            "object table exhausted building external message");
       return std::nullopt;
     }
+    notifyAlloc(*Obj);
     std::optional<Value> Sub =
         buildFromInterfacePattern(U->getSub(), Binders, Next);
     if (!Sub)
@@ -1155,31 +1277,43 @@ bool Machine::deliverExternalIn(unsigned ChannelId) {
 
   // Find the blocked reader whose pattern matches.
   std::vector<Value> Values = {*V};
-  for (unsigned R = 0, NP = Procs.size(); R != NP; ++R) {
-    if (Procs[R].St != ProcState::Status::Blocked)
-      continue;
-    const Inst &RI = Module.Procs[R].Insts[Procs[R].PC];
-    for (size_t RC = 0, NR = RI.Cases.size(); RC != NR; ++RC) {
-      const IRCase &RCase = RI.Cases[RC];
-      if (!RCase.IsIn || RCase.Channel != Chan || !Procs[R].CaseEnabled[RC])
+  MsgDisc D = discOfValues(Values);
+  const uint64_t *Mask = inWait(ChannelId);
+  for (unsigned Word = 0; Word != CP.MaskWords; ++Word) {
+    for (uint64_t Bits = Mask[Word]; Bits; Bits &= Bits - 1) {
+      unsigned R = Word * 64 + static_cast<unsigned>(std::countr_zero(Bits));
+      if (Procs[R].St != ProcState::Status::Blocked)
         continue;
-      if (!matchPattern(R, RCase.Pat, Values, /*Commit=*/false)) {
-        if (Error)
+      const CInst &RI = CP.Procs[R].Insts[Procs[R].PC];
+      for (size_t RC = 0, NR = RI.Cases.size(); RC != NR; ++RC) {
+        const CCase &RCase = RI.Cases[RC];
+        if (!RCase.IsIn || RCase.ChanId != ChannelId ||
+            !Procs[R].CaseEnabled[RC])
+          continue;
+        if (discRejects(RCase.Disc, D))
+          continue;
+        if (!matchValues(R, RCase.Pat, Values, MatchMode::Try)) {
+          if (Error)
+            return false;
+          continue;
+        }
+        if (!matchValues(R, RCase.Pat, Values, MatchMode::CommitAcquire))
           return false;
-        continue;
+        Writer->accepted(CaseIndex);
+        if (Obs) {
+          Obs->onSend(*this, ChannelId, -1);
+          Obs->onRecv(*this, ChannelId, static_cast<int>(R));
+        }
+        dropValueTemp(*V, ICase.Loc, -1);
+        unsigned Target = RCase.Target;
+        releaseLosingCases(R, static_cast<unsigned>(RC));
+        Procs[R].PC = Target;
+        Procs[R].St = ProcState::Status::Ready;
+        ReadyQueue.push_back(R);
+        ++Stats.ExternalDeliveries;
+        ++Stats.Rendezvous;
+        return true;
       }
-      if (!matchPattern(R, RCase.Pat, Values, /*Commit=*/true))
-        return false;
-      Writer->accepted(CaseIndex);
-      dropValueTemp(*V, ICase.Loc, -1);
-      unsigned Target = RCase.Target;
-      releaseLosingCases(R, static_cast<unsigned>(RC));
-      Procs[R].PC = Target;
-      Procs[R].St = ProcState::Status::Ready;
-      ReadyQueue.push_back(R);
-      ++Stats.ExternalDeliveries;
-      ++Stats.Rendezvous;
-      return true;
     }
   }
   // No process is waiting for this message right now; drop it back. A
@@ -1202,14 +1336,14 @@ bool Machine::pollExternals() {
       return false;
   }
   // Poll external readers (blocked processes wanting to emit).
-  for (unsigned P = 0, NP = Procs.size(); P != NP; ++P) {
+  for (unsigned P = 0, NP = static_cast<unsigned>(Procs.size()); P != NP;
+       ++P) {
     if (Procs[P].St != ProcState::Status::Blocked)
       continue;
-    const Inst &I = Module.Procs[P].Insts[Procs[P].PC];
+    const CInst &I = CP.Procs[P].Insts[Procs[P].PC];
     for (size_t C = 0, N = I.Cases.size(); C != N; ++C) {
-      const IRCase &Case = I.Cases[C];
-      if (Case.IsIn || !Procs[P].CaseEnabled[C] ||
-          !Readers[Case.Channel->Id])
+      const CCase &Case = I.Cases[C];
+      if (Case.IsIn || !Procs[P].CaseEnabled[C] || !Readers[Case.ChanId])
         continue;
       if (tryExternalOut(P, static_cast<unsigned>(C))) {
         ReadyQueue.push_back(P);
@@ -1222,7 +1356,14 @@ bool Machine::pollExternals() {
   return false;
 }
 
-Machine::StepResult Machine::step() {
+StepResult Machine::step() {
+  StepResult Result = stepImpl();
+  if (Obs)
+    Obs->onStep(*this, Result);
+  return Result;
+}
+
+StepResult Machine::stepImpl() {
   assert(Started && "call start() first");
   if (Error)
     return StepResult::Errored;
@@ -1265,7 +1406,7 @@ Machine::StepResult Machine::step() {
   return Error ? StepResult::Errored : StepResult::Progress;
 }
 
-Machine::StepResult Machine::run(uint64_t MaxSteps) {
+StepResult Machine::run(uint64_t MaxSteps) {
   StepResult Result = StepResult::Progress;
   for (uint64_t I = 0; I != MaxSteps; ++I) {
     Result = step();
@@ -1296,18 +1437,18 @@ std::vector<Move> Machine::enumerateMoves() {
     ProcState &P = Procs[I];
     if (P.St != ProcState::Status::Blocked)
       continue;
-    const Inst &Ins = Module.Procs[I].Insts[P.PC];
+    const CInst &Ins = CP.Procs[I].Insts[P.PC];
     size_t N = std::min(Ins.Cases.size(), P.PreparedValid.size());
     for (size_t C = 0; C != N; ++C) {
-      const IRCase &Case = Ins.Cases[C];
+      const CCase &Case = Ins.Cases[C];
       if (!P.PreparedValid[C] || Case.IsIn || !Case.LazyOut)
         continue;
       if (Case.ElideRecordAlloc) {
-        const RecordLitExpr *R = ast_cast<RecordLitExpr>(Case.Out);
+        const RecordLitExpr *R = ast_cast<RecordLitExpr>(Case.Src->Out);
         for (size_t F = 0, NF = R->getElems().size(); F != NF; ++F)
           dropSenderTemp(R->getElems()[F], P.Prepared[C][F]);
-      } else if (Case.Out) {
-        dropSenderTemp(Case.Out, P.Prepared[C][0]);
+      } else if (Case.Src->Out) {
+        dropSenderTemp(Case.Src->Out, P.Prepared[C][0]);
       }
       P.Prepared[C].clear();
       P.PreparedValid[C] = false;
@@ -1324,78 +1465,93 @@ std::vector<Move> Machine::enumerateMovesImpl() {
   for (unsigned W = 0; W != NP; ++W) {
     if (Procs[W].St != ProcState::Status::Blocked)
       continue;
-    const Inst &WI = Module.Procs[W].Insts[Procs[W].PC];
+    const CInst &WI = CP.Procs[W].Insts[Procs[W].PC];
     for (size_t WC = 0, NW = WI.Cases.size(); WC != NW; ++WC) {
-      const IRCase &WCase = WI.Cases[WC];
+      const CCase &WCase = WI.Cases[WC];
       if (WCase.IsIn || !Procs[W].CaseEnabled[WC])
         continue;
       std::vector<Value> Values;
       if (!outValues(W, static_cast<unsigned>(WC), Values))
         return Moves;
+      MsgDisc D = discOfValues(Values);
+      const bool Disjoint = CP.Channels[WCase.ChanId].Disjoint;
       int MatchingReaderOwner = -1;
-      for (unsigned R = 0; R != NP; ++R) {
-        if (R == W || Procs[R].St != ProcState::Status::Blocked)
-          continue;
-        const Inst &RI = Module.Procs[R].Insts[Procs[R].PC];
-        for (size_t RC = 0, NR = RI.Cases.size(); RC != NR; ++RC) {
-          const IRCase &RCase = RI.Cases[RC];
-          if (!RCase.IsIn || RCase.Channel != WCase.Channel ||
-              !Procs[R].CaseEnabled[RC])
+      bool Stop = false;
+      const uint64_t *Mask = inWait(WCase.ChanId);
+      for (unsigned Word = 0; Word != CP.MaskWords && !Stop; ++Word) {
+        for (uint64_t Bits = Mask[Word]; Bits && !Stop; Bits &= Bits - 1) {
+          unsigned R =
+              Word * 64 + static_cast<unsigned>(std::countr_zero(Bits));
+          if (R == W || Procs[R].St != ProcState::Status::Blocked)
             continue;
-          if (!matchPattern(R, RCase.Pat, Values, /*Commit=*/false)) {
-            if (Error)
+          const CInst &RI = CP.Procs[R].Insts[Procs[R].PC];
+          for (size_t RC = 0, NR = RI.Cases.size(); RC != NR; ++RC) {
+            const CCase &RCase = RI.Cases[RC];
+            if (!RCase.IsIn || RCase.ChanId != WCase.ChanId ||
+                !Procs[R].CaseEnabled[RC])
+              continue;
+            if (discRejects(RCase.Disc, D))
+              continue;
+            if (!matchValues(R, RCase.Pat, Values, MatchMode::Try)) {
+              if (Error)
+                return Moves;
+              continue;
+            }
+            if (MatchingReaderOwner >= 0 &&
+                MatchingReaderOwner != static_cast<int>(R)) {
+              fail(RuntimeErrorKind::AmbiguousDispatch, WCase.Src->Loc,
+                   static_cast<int>(W),
+                   "message on channel '" + WCase.Src->Channel->Name +
+                       "' matches patterns in two processes");
               return Moves;
-            continue;
+            }
+            MatchingReaderOwner = static_cast<int>(R);
+            Move M;
+            M.K = Move::Kind::Rendezvous;
+            M.Channel = WCase.ChanId;
+            M.Writer = static_cast<int>(W);
+            M.WriterCase = static_cast<unsigned>(WC);
+            M.Reader = static_cast<int>(R);
+            M.ReaderCase = static_cast<unsigned>(RC);
+            Moves.push_back(M);
+            if (Disjoint) {
+              Stop = true;
+              break;
+            }
           }
-          if (MatchingReaderOwner >= 0 &&
-              MatchingReaderOwner != static_cast<int>(R)) {
-            fail(RuntimeErrorKind::AmbiguousDispatch, WCase.Loc,
-                 static_cast<int>(W),
-                 "message on channel '" + WCase.Channel->Name +
-                     "' matches patterns in two processes");
-            return Moves;
-          }
-          MatchingReaderOwner = static_cast<int>(R);
-          Move M;
-          M.K = Move::Kind::Rendezvous;
-          M.Channel = WCase.Channel->Id;
-          M.Writer = static_cast<int>(W);
-          M.WriterCase = static_cast<unsigned>(WC);
-          M.Reader = static_cast<int>(R);
-          M.ReaderCase = static_cast<unsigned>(RC);
-          Moves.push_back(M);
         }
       }
       // Environment receive.
-      if (Env && Env->numVariants(WCase.Channel) == 0 &&
-          WCase.Channel->Role == ChannelRole::ExternalReader) {
+      if (Env && Env->numVariants(WCase.Src->Channel) == 0 &&
+          WCase.Src->Channel->Role == ChannelRole::ExternalReader) {
         Move M;
         M.K = Move::Kind::EnvRecv;
-        M.Channel = WCase.Channel->Id;
+        M.Channel = WCase.ChanId;
         M.Writer = static_cast<int>(W);
         M.WriterCase = static_cast<unsigned>(WC);
         Moves.push_back(M);
       }
       // In per-process harness mode the environment consumes from any
-      // channel it does not drive.
-      if (Env && WCase.Channel->Role != ChannelRole::ExternalReader &&
-          Env->numVariants(WCase.Channel) == 0 && MatchingReaderOwner < 0) {
+      // channel it does not drive and no other process can ever read
+      // (the precomputed static-reader masks answer that in O(words)).
+      if (Env && WCase.Src->Channel->Role != ChannelRole::ExternalReader &&
+          Env->numVariants(WCase.Src->Channel) == 0 &&
+          MatchingReaderOwner < 0) {
         bool AnyInternalReader = false;
-        for (unsigned R = 0; R != NP && !AnyInternalReader; ++R) {
-          if (R == W)
-            continue;
-          for (const Inst &I : Module.Procs[R].Insts) {
-            if (I.Kind != InstKind::Block)
-              continue;
-            for (const IRCase &C : I.Cases)
-              if (C.IsIn && C.Channel == WCase.Channel)
-                AnyInternalReader = true;
+        const ChannelInfo &CInfo = CP.Channels[WCase.ChanId];
+        for (unsigned Word = 0; Word != CP.MaskWords; ++Word) {
+          uint64_t Bits = CInfo.StaticReaders[Word];
+          if (Word == W / 64)
+            Bits &= ~(uint64_t(1) << (W % 64));
+          if (Bits) {
+            AnyInternalReader = true;
+            break;
           }
         }
         if (!AnyInternalReader) {
           Move M;
           M.K = Move::Kind::EnvRecv;
-          M.Channel = WCase.Channel->Id;
+          M.Channel = WCase.ChanId;
           M.Writer = static_cast<int>(W);
           M.WriterCase = static_cast<unsigned>(WC);
           Moves.push_back(M);
@@ -1411,27 +1567,35 @@ std::vector<Move> Machine::enumerateMovesImpl() {
       for (unsigned Variant = 0; Variant != NumVariants; ++Variant) {
         Value V = Env->makeVariant(Chan.get(), Variant, H);
         std::vector<Value> Values = {V};
-        for (unsigned R = 0; R != NP; ++R) {
-          if (Procs[R].St != ProcState::Status::Blocked)
-            continue;
-          const Inst &RI = Module.Procs[R].Insts[Procs[R].PC];
-          for (size_t RC = 0, NR = RI.Cases.size(); RC != NR; ++RC) {
-            const IRCase &RCase = RI.Cases[RC];
-            if (!RCase.IsIn || RCase.Channel != Chan.get() ||
-                !Procs[R].CaseEnabled[RC])
+        MsgDisc D = discOfValues(Values);
+        const uint64_t *Mask = inWait(Chan->Id);
+        for (unsigned Word = 0; Word != CP.MaskWords; ++Word) {
+          for (uint64_t Bits = Mask[Word]; Bits; Bits &= Bits - 1) {
+            unsigned R =
+                Word * 64 + static_cast<unsigned>(std::countr_zero(Bits));
+            if (Procs[R].St != ProcState::Status::Blocked)
               continue;
-            if (!matchPattern(R, RCase.Pat, Values, /*Commit=*/false)) {
-              if (Error)
-                return Moves;
-              continue;
+            const CInst &RI = CP.Procs[R].Insts[Procs[R].PC];
+            for (size_t RC = 0, NR = RI.Cases.size(); RC != NR; ++RC) {
+              const CCase &RCase = RI.Cases[RC];
+              if (!RCase.IsIn || RCase.ChanId != Chan->Id ||
+                  !Procs[R].CaseEnabled[RC])
+                continue;
+              if (discRejects(RCase.Disc, D))
+                continue;
+              if (!matchValues(R, RCase.Pat, Values, MatchMode::Try)) {
+                if (Error)
+                  return Moves;
+                continue;
+              }
+              Move M;
+              M.K = Move::Kind::EnvSend;
+              M.Channel = Chan->Id;
+              M.Reader = static_cast<int>(R);
+              M.ReaderCase = static_cast<unsigned>(RC);
+              M.EnvVariant = Variant;
+              Moves.push_back(M);
             }
-            Move M;
-            M.K = Move::Kind::EnvSend;
-            M.Channel = Chan->Id;
-            M.Reader = static_cast<int>(R);
-            M.ReaderCase = static_cast<unsigned>(RC);
-            M.EnvVariant = Variant;
-            Moves.push_back(M);
           }
         }
         // Undo the probe allocation so enumeration does not perturb the
@@ -1445,17 +1609,16 @@ std::vector<Move> Machine::enumerateMovesImpl() {
   return Moves;
 }
 
-void Machine::applyMove(const Move &M) {
+StepResult Machine::applyMove(const Move &M) {
   assert(!Error && "applying a move to a failed machine");
   switch (M.K) {
   case Move::Kind::Rendezvous: {
-    if (!transfer(M.Writer, M.WriterCase, M.Reader, M.ReaderCase, nullptr))
-      return;
-    runToBlock(static_cast<unsigned>(M.Writer));
-    if (Error)
-      return;
-    runToBlock(static_cast<unsigned>(M.Reader));
-    return;
+    if (transfer(M.Writer, M.WriterCase, M.Reader, M.ReaderCase, nullptr)) {
+      runToBlock(static_cast<unsigned>(M.Writer));
+      if (!Error)
+        runToBlock(static_cast<unsigned>(M.Reader));
+    }
+    break;
   }
   case Move::Kind::EnvSend: {
     const ChannelDecl *Chan = nullptr;
@@ -1464,18 +1627,19 @@ void Machine::applyMove(const Move &M) {
         Chan = C.get();
     Value V = Env->makeVariant(Chan, M.EnvVariant, H);
     std::vector<Value> Values = {V};
-    if (!transfer(-1, 0, M.Reader, M.ReaderCase, &Values))
-      return;
-    runToBlock(static_cast<unsigned>(M.Reader));
-    return;
+    if (transfer(-1, 0, M.Reader, M.ReaderCase, &Values))
+      runToBlock(static_cast<unsigned>(M.Reader));
+    break;
   }
   case Move::Kind::EnvRecv: {
-    if (!transfer(M.Writer, M.WriterCase, -1, 0, nullptr))
-      return;
-    runToBlock(static_cast<unsigned>(M.Writer));
-    return;
+    if (transfer(M.Writer, M.WriterCase, -1, 0, nullptr))
+      runToBlock(static_cast<unsigned>(M.Writer));
+    break;
   }
   }
+  if (Error)
+    return StepResult::Errored;
+  return allDone() ? StepResult::Halted : StepResult::Progress;
 }
 
 bool Machine::isDeadlocked() {
@@ -1504,6 +1668,7 @@ void Machine::restore(const Snapshot &S) {
   Started = S.Started;
   ReadyQueue.clear();
   Current = -1;
+  rebuildWaitBits();
 }
 
 namespace {

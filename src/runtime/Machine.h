@@ -11,9 +11,9 @@
 ///  * processes are stackless; a context switch saves only the program
 ///    counter,
 ///  * channels are synchronous rendezvous; blocked processes are tracked
-///    per channel (the generated C uses per-process bitmasks; the
-///    interpreter keeps the equivalent wait sets and counts the same
-///    events),
+///    in per-channel bitmasks (one bit per process, exactly the generated
+///    C's scheme), and reader dispatch consults a precomputed
+///    channel × discriminant table before walking any pattern,
 ///  * scheduling is non-preemptive and stack-based: when a rendezvous
 ///    completes, one process continues and the other is pushed on the
 ///    ready queue; an idle loop polls external channels,
@@ -21,6 +21,11 @@
 ///    (the paper's deep-copy elision) and by actual deep copy in
 ///    verification mode (the semantic model the SPIN translation uses,
 ///    which makes memory safety a per-process property, §4.4).
+///
+/// Process bodies are precompiled at construction (CompiledProgram) into
+/// flat op arrays: one step is a dense switch over compact ops with
+/// operands already resolved to slot/field indices — the IR and AST are
+/// consulted only to format diagnostics.
 ///
 /// The same Machine exposes a model-checking interface: enumerate the
 /// enabled moves of the current state, apply one, snapshot/serialize the
@@ -32,6 +37,7 @@
 #define ESP_RUNTIME_MACHINE_H
 
 #include "ir/IR.h"
+#include "runtime/CompiledProgram.h"
 #include "runtime/Heap.h"
 
 #include <cstdint>
@@ -137,6 +143,44 @@ public:
 // Machine
 //===----------------------------------------------------------------------===//
 
+/// Outcome of one scheduler action (or one applied model-checker move).
+enum class StepResult : uint8_t { Progress, Quiescent, Halted, Errored };
+
+class Machine;
+
+/// Observation hook for the execution machine: benchmark counters, trace
+/// collectors, and simulators subscribe here instead of polling ExecStats
+/// deltas. All callbacks default to no-ops; the machine pays one branch
+/// per event when no observer is installed.
+class MachineObserver {
+public:
+  virtual ~MachineObserver() = default;
+
+  /// After every scheduler step (execution mode).
+  virtual void onStep(const Machine &M, StepResult Result) {
+    (void)M;
+    (void)Result;
+  }
+  /// A rendezvous committed; the writer side (-1 = environment/external).
+  virtual void onSend(const Machine &M, uint32_t ChannelId, int Writer) {
+    (void)M;
+    (void)ChannelId;
+    (void)Writer;
+  }
+  /// A rendezvous committed; the reader side (-1 = environment/external).
+  virtual void onRecv(const Machine &M, uint32_t ChannelId, int Reader) {
+    (void)M;
+    (void)ChannelId;
+    (void)Reader;
+  }
+  /// A heap object was allocated (evaluation, deep copy, or external
+  /// message construction).
+  virtual void onAlloc(const Machine &M, const Value &Obj) {
+    (void)M;
+    (void)Obj;
+  }
+};
+
 /// One enabled transition of the machine, for the model checker.
 struct Move {
   enum class Kind : uint8_t { Rendezvous, EnvSend, EnvRecv } K =
@@ -196,6 +240,8 @@ struct MachineOptions {
   bool ReuseObjectIds = true;
   /// Deep-copy channel transfers (semantic model; used for verification)
   /// instead of refcount-increment sharing (the optimized execution).
+  /// Also turns on the heap's full liveness checks (execution mode keeps
+  /// only the generation compare).
   bool DeepCopyTransfers = false;
   /// Stop execution after this many interpreted instructions in one
   /// runToBlock (guards against non-terminating local loops).
@@ -224,13 +270,18 @@ public:
   /// Sets the verification environment model (not owned).
   void setEnvModel(const EnvModel *Model) { Env = Model; }
 
+  /// Installs (or clears, with nullptr) the observation hook. Not owned.
+  void setObserver(MachineObserver *O) { Obs = O; }
+
   /// Runs every process from its entry to its first communication point.
   /// Must be called once before step()/enumerateMoves().
   void start();
 
   //===--- Execution mode (firmware scheduler) ----------------------------===//
 
-  enum class StepResult : uint8_t { Progress, Quiescent, Halted, Errored };
+  /// Compatibility alias: StepResult was a nested enum before the API
+  /// redesign; out-of-tree `Machine::StepResult` spellings still work.
+  using StepResult = esp::StepResult;
 
   /// One scheduler action: run the current process to its next block
   /// point and try to pair it, or poll external channels when idle.
@@ -250,8 +301,11 @@ public:
   std::vector<Move> enumerateMoves();
 
   /// Applies \p M: performs the transfer and runs both participants to
-  /// their next block points.
-  void applyMove(const Move &M);
+  /// their next block points. Returns Errored when the move faulted,
+  /// Halted when every process has run to completion, Progress otherwise
+  /// (callers that predate the StepResult protocol may ignore it and
+  /// keep polling error()).
+  StepResult applyMove(const Move &M);
 
   /// True when no move is enabled and some process is still Blocked.
   bool isDeadlocked();
@@ -292,6 +346,7 @@ public:
   const ExecStats &stats() const { return Stats; }
   Heap &heap() { return H; }
   const ModuleIR &module() const { return Module; }
+  const CompiledProgram &compiled() const { return CP; }
   unsigned numProcesses() const { return Procs.size(); }
   const ProcState &proc(unsigned I) const { return Procs[I]; }
 
@@ -308,26 +363,41 @@ public:
 private:
   //===--- Interpreter core ------------------------------------------------===//
 
-  std::optional<Value> evalExpr(unsigned ProcIndex, const Expr *E);
-  bool execStore(unsigned ProcIndex, const Inst &I);
+  /// Evaluates the bytecode range \p R of process \p ProcIndex's compiled
+  /// code into \p Result. False on runtime fault (machine error set).
+  bool evalCode(unsigned ProcIndex, XRange R, Value &Result);
+  bool execStore(unsigned ProcIndex, const CInst &I);
   /// Runs process \p ProcIndex until it blocks, halts, or fails.
   void runToBlock(unsigned ProcIndex);
   /// Evaluates guards and (for non-lazy out cases) prepared values at a
-  /// block point.
+  /// block point, then publishes the process's per-channel wait bits.
   void prepareBlock(unsigned ProcIndex);
 
   void fail(RuntimeErrorKind Kind, SourceLoc Loc, int ProcIndex,
             std::string Message);
 
+  void notifyAlloc(const Value &V) {
+    if (Obs)
+      Obs->onAlloc(*this, V);
+  }
+
   //===--- Matching and transfer -------------------------------------------===//
 
-  /// Dry-run match of \p Values (1 value, or N elided fields) against
-  /// reader pattern \p Pat evaluated in \p ReaderIndex's context.
-  /// Returns false on mismatch; sets the machine error on runtime faults.
-  bool matchPattern(unsigned ReaderIndex, const Pattern *Pat,
-                    const std::vector<Value> &Values, bool Commit);
-  bool matchOne(unsigned ReaderIndex, const Pattern *Pat, const Value &V,
-                bool Commit);
+  /// How a pattern walk applies its bindings.
+  enum class MatchMode : uint8_t {
+    Try,           ///< Dry run: no binding, no acquisition.
+    CommitAcquire, ///< Channel receive: bind with receiverAcquire.
+    CommitLocal,   ///< Destructuring assignment: bind without acquiring.
+  };
+
+  /// Matches compiled pattern node \p PatIndex of \p ReaderIndex against
+  /// \p V. Returns false on mismatch; sets the machine error on runtime
+  /// faults (except CommitLocal, whose caller reports the error).
+  bool matchC(unsigned ReaderIndex, uint32_t PatIndex, const Value &V,
+              MatchMode Mode);
+  /// Same over the 1-or-N values of a (possibly elided) transfer.
+  bool matchValues(unsigned ReaderIndex, uint32_t PatIndex,
+                   const std::vector<Value> &Values, MatchMode Mode);
 
   /// Produces the out value(s) for case \p CaseIndex of blocked process
   /// \p ProcIndex, using the prepared cache or evaluating lazily.
@@ -356,8 +426,43 @@ private:
   /// enumerateMoves without the purity cleanup (the raw probe walk).
   std::vector<Move> enumerateMovesImpl();
 
+  //===--- Dispatch tables and wait bitmasks --------------------------------===//
+
+  /// The top-level discriminant of a concrete message, if it has one.
+  struct MsgDisc {
+    enum class K : uint8_t { None, UnionArm, Scalar } Kind = K::None;
+    int32_t Arm = -1;
+    int64_t Scalar = 0;
+  };
+  MsgDisc discOfValues(const std::vector<Value> &Values) const;
+  /// True when the dispatch table proves \p Case cannot match a message
+  /// with discriminant \p D (so the pattern walk is skipped entirely).
+  static bool discRejects(const CaseDisc &Case, const MsgDisc &D) {
+    if (Case.Kind == CaseDisc::K::UnionArm && D.Kind == MsgDisc::K::UnionArm)
+      return Case.Arm != D.Arm;
+    if (Case.Kind == CaseDisc::K::Scalar && D.Kind == MsgDisc::K::Scalar)
+      return Case.Scalar != D.Scalar;
+    return false;
+  }
+
+  /// Sets/clears process \p ProcIndex's bit in the wait mask of every
+  /// channel one of its enabled cases blocks on. The masks are an
+  /// accelerator: consumers still re-check Blocked + CaseEnabled, so a
+  /// stale set bit is harmless (a missing one is not).
+  void addWaitBits(unsigned ProcIndex);
+  void clearWaitBits(unsigned ProcIndex);
+  void rebuildWaitBits();
+
+  uint64_t *inWait(uint32_t ChannelId) {
+    return &InWait[ChannelId * CP.MaskWords];
+  }
+  uint64_t *outWait(uint32_t ChannelId) {
+    return &OutWait[ChannelId * CP.MaskWords];
+  }
+
   //===--- Execution-mode scheduling ----------------------------------------===//
 
+  StepResult stepImpl();
   int popReady();
   bool tryPair(unsigned ProcIndex);
   bool pollExternals();
@@ -375,11 +480,21 @@ private:
 
   const ModuleIR &Module;
   MachineOptions Options;
+  CompiledProgram CP;
   Heap H;
   std::vector<ProcState> Procs;
   RuntimeError Error;
   ExecStats Stats;
   bool Started = false;
+
+  /// Shared postfix evaluation stack (member so steady-state evaluation
+  /// is allocation-free; nested evaluations save/restore their base).
+  std::vector<Value> EvalStack;
+
+  /// Per-channel wait bitmasks, CP.MaskWords words per channel: bit P of
+  /// InWait[chan] = process P blocks with an enabled in-case on chan.
+  std::vector<uint64_t> InWait;
+  std::vector<uint64_t> OutWait;
 
   // Execution-mode scheduler state.
   std::deque<unsigned> ReadyQueue;
@@ -390,6 +505,7 @@ private:
   std::vector<std::unique_ptr<ExternalWriter>> Writers;
   std::vector<std::unique_ptr<ExternalReader>> Readers;
   const EnvModel *Env = nullptr;
+  MachineObserver *Obs = nullptr;
 };
 
 } // namespace esp

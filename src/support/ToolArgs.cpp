@@ -1,0 +1,104 @@
+//===--- ToolArgs.cpp - Shared command-line scanner for the tools -----------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ToolArgs.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace esp;
+
+static const char kVersion[] = "0.5.0";
+
+ToolArgs::ToolArgs(int Argc, char **Argv, std::string ToolName,
+                   std::string UsageText)
+    : Argc(Argc), Argv(Argv), Tool(std::move(ToolName)),
+      Usage(std::move(UsageText)) {}
+
+bool ToolArgs::next() {
+  if (Exit || Index + 1 >= Argc)
+    return false;
+  Current = Argv[++Index];
+  return true;
+}
+
+bool ToolArgs::option(const char *Name, std::string &Value) {
+  if (Current != Name)
+    return false;
+  if (Index + 1 >= Argc) {
+    usageError(std::string(Name) + " expects a value");
+    return true; // Consumed; the caller's chain must not keep matching.
+  }
+  Value = Argv[++Index];
+  return true;
+}
+
+bool ToolArgs::optionUInt(const char *Name, uint64_t &Value, uint64_t Min) {
+  std::string Text;
+  if (!option(Name, Text))
+    return false;
+  if (Exit)
+    return true;
+  char *End = nullptr;
+  unsigned long long Parsed = std::strtoull(Text.c_str(), &End, 10);
+  if (End == Text.c_str() || *End != '\0' || Parsed < Min) {
+    usageError(std::string(Name) + " expects a " +
+               (Min > 0 ? "positive integer" : "non-negative integer") +
+               ", got '" + Text + "'");
+    return true;
+  }
+  Value = Parsed;
+  return true;
+}
+
+bool ToolArgs::optionInt(const char *Name, int64_t &Value) {
+  std::string Text;
+  if (!option(Name, Text))
+    return false;
+  if (Exit)
+    return true;
+  char *End = nullptr;
+  long long Parsed = std::strtoll(Text.c_str(), &End, 10);
+  if (End == Text.c_str() || *End != '\0') {
+    usageError(std::string(Name) + " expects an integer, got '" + Text + "'");
+    return true;
+  }
+  Value = Parsed;
+  return true;
+}
+
+void ToolArgs::unknownOrBuiltin() {
+  if (Current == "--help" || Current == "-h") {
+    printUsage();
+    Exit = true;
+    Code = 0;
+    return;
+  }
+  if (Current == "--version") {
+    std::printf("%s (esplang) %s\n", Tool.c_str(), kVersion);
+    Exit = true;
+    Code = 0;
+    return;
+  }
+  usageError("unknown option '" + Current + "'");
+}
+
+void ToolArgs::usageError(const std::string &Message) {
+  std::fprintf(stderr, "%s: %s\n", Tool.c_str(), Message.c_str());
+  printUsage();
+  Exit = true;
+  Code = 2;
+}
+
+void ToolArgs::error(const std::string &Message) {
+  std::fprintf(stderr, "%s: %s\n", Tool.c_str(), Message.c_str());
+  Exit = true;
+  Code = 1;
+}
+
+void ToolArgs::printUsage() const {
+  std::fputs(Usage.c_str(), stderr);
+}

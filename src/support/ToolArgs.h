@@ -1,0 +1,98 @@
+//===--- ToolArgs.h - Shared command-line scanner for the tools -*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One command-line grammar for espc, esplint, and espmc. Each tool
+/// keeps its own flag set but gets --help/-h, --version, value-taking
+/// options, integer validation, and unknown-option reporting with
+/// identical wording and exit codes:
+///
+///   while (Args.next()) {
+///     if (Args.flag("--check"))            Act = Check;
+///     else if (Args.option("-o", Out))     ;
+///     else if (Args.optionUInt("--max-states", N)) ;
+///     else if (Args.positional())          Inputs.push_back(Args.arg());
+///     else                                 Args.unknownOrBuiltin();
+///   }
+///   if (Args.shouldExit()) return Args.exitCode();
+///
+/// unknownOrBuiltin handles --help/--version (exit 0) and reports
+/// anything else as an unknown option (exit 2), so tool-specific flags
+/// always win over the builtins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_SUPPORT_TOOLARGS_H
+#define ESP_SUPPORT_TOOLARGS_H
+
+#include <cstdint>
+#include <string>
+
+namespace esp {
+
+class ToolArgs {
+public:
+  /// \p UsageText is the full help body, printed verbatim for --help and
+  /// after usage errors.
+  ToolArgs(int Argc, char **Argv, std::string ToolName,
+           std::string UsageText);
+
+  /// Advances to the next argument. False when exhausted or after a
+  /// terminal state (help, version, error) was reached.
+  bool next();
+
+  /// The current argument.
+  const std::string &arg() const { return Current; }
+
+  /// True when the current argument equals \p Name exactly.
+  bool flag(const char *Name) const { return Current == Name; }
+
+  /// True when the current argument is \p Name; consumes the following
+  /// argument into \p Value. A missing value is a usage error.
+  bool option(const char *Name, std::string &Value);
+
+  /// Like option, but the value must parse as an integer (decimal),
+  /// and for optionUInt be >= \p Min. Bad values are usage errors.
+  bool optionUInt(const char *Name, uint64_t &Value, uint64_t Min = 0);
+  bool optionInt(const char *Name, int64_t &Value);
+
+  /// True when the current argument does not start with '-'.
+  bool positional() const {
+    return Current.empty() || Current[0] != '-';
+  }
+
+  /// Fallback for unmatched arguments: handles --help/-h and --version
+  /// (exit 0), reports anything else as an unknown option (exit 2).
+  void unknownOrBuiltin();
+
+  /// Reports "tool: message" followed by the usage text; exit code 2.
+  void usageError(const std::string &Message);
+
+  /// Reports "tool: message" without usage; exit code 1 (runtime errors
+  /// such as unreadable files).
+  void error(const std::string &Message);
+
+  void printUsage() const;
+
+  /// True once a terminal state was reached; the tool should return
+  /// exitCode() without doing any work.
+  bool shouldExit() const { return Exit; }
+  int exitCode() const { return Code; }
+
+private:
+  int Argc;
+  char **Argv;
+  int Index = 0;
+  std::string Tool;
+  std::string Usage;
+  std::string Current;
+  bool Exit = false;
+  int Code = 0;
+};
+
+} // namespace esp
+
+#endif // ESP_SUPPORT_TOOLARGS_H

@@ -6,23 +6,21 @@
 // targets — a C file for the firmware build and a SPIN (Promela)
 // specification for verification. Additionally supports IR dumps,
 // check-only runs, and direct execution of closed programs on the ESP
-// runtime.
+// runtime. All compilation goes through esp::compile (src/driver/).
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analysis.h"
 #include "codegen/CCodeGen.h"
 #include "codegen/PromelaGen.h"
-#include "frontend/Parser.h"
+#include "driver/Driver.h"
 #include "frontend/PrettyPrinter.h"
-#include "frontend/Sema.h"
-#include "ir/Passes.h"
 #include "runtime/Machine.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
+#include "support/ToolArgs.h"
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 
@@ -30,34 +28,31 @@ using namespace esp;
 
 namespace {
 
-void printUsage() {
-  std::fprintf(
-      stderr,
-      "usage: espc [options] <file.esp>\n"
-      "\n"
-      "The ESP compiler (PLDI 2001 reproduction). Generates the two\n"
-      "targets of the paper's Figure 4.\n"
-      "\n"
-      "options:\n"
-      "  --emit-c          generate C firmware code (default)\n"
-      "  --emit-header     generate the C entry-point header\n"
-      "  --emit-spin       generate the SPIN (Promela) specification\n"
-      "  --dump-ir         dump the state-machine IR\n"
-      "  --check           parse and type-check only\n"
-      "  --analyze         run the esplint static analyses (deadlock,\n"
-      "                    link balance, reachability); analysis errors\n"
-      "                    fail the compile\n"
-      "  -Wanalysis        like --analyze, but report everything as\n"
-      "                    warnings (never fails the compile)\n"
-      "  --format          pretty-print the program in canonical form\n"
-      "  --run             execute a closed program on the ESP runtime\n"
-      "  --safety          compile liveness/bounds assertions into the C\n"
-      "                    (debug firmware; freed objects are quarantined)\n"
-      "  --max-steps N     step limit for --run (default 1000000)\n"
-      "  --instances N     program copies in the SPIN spec (default 1)\n"
-      "  -O0               disable the section 6.1 optimizations\n"
-      "  -o <file>         write output to <file> instead of stdout\n");
-}
+const char kUsage[] =
+    "usage: espc [options] <file.esp>\n"
+    "\n"
+    "The ESP compiler (PLDI 2001 reproduction). Generates the two\n"
+    "targets of the paper's Figure 4.\n"
+    "\n"
+    "options:\n"
+    "  --emit-c          generate C firmware code (default)\n"
+    "  --emit-header     generate the C entry-point header\n"
+    "  --emit-spin       generate the SPIN (Promela) specification\n"
+    "  --dump-ir         dump the state-machine IR\n"
+    "  --check           parse and type-check only\n"
+    "  --analyze         run the esplint static analyses (deadlock,\n"
+    "                    link balance, reachability); analysis errors\n"
+    "                    fail the compile\n"
+    "  -Wanalysis        like --analyze, but report everything as\n"
+    "                    warnings (never fails the compile)\n"
+    "  --format          pretty-print the program in canonical form\n"
+    "  --run             execute a closed program on the ESP runtime\n"
+    "  --safety          compile liveness/bounds assertions into the C\n"
+    "                    (debug firmware; freed objects are quarantined)\n"
+    "  --max-steps N     step limit for --run (default 1000000)\n"
+    "  --instances N     program copies in the SPIN spec (default 1)\n"
+    "  -O0               disable the section 6.1 optimizations\n"
+    "  -o <file>         write output to <file> instead of stdout\n";
 
 } // namespace
 
@@ -70,74 +65,69 @@ int main(int Argc, char **Argv) {
   bool AnalyzeAsWarnings = false;
   std::string InputPath;
   std::string OutputPath;
-  unsigned Instances = 1;
+  uint64_t Instances = 1;
   uint64_t MaxSteps = 1'000'000;
 
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg == "--emit-c") {
+  ToolArgs Args(Argc, Argv, "espc", kUsage);
+  while (Args.next()) {
+    if (Args.flag("--emit-c"))
       Act = Action::EmitC;
-    } else if (Arg == "--emit-header") {
+    else if (Args.flag("--emit-header"))
       Act = Action::EmitHeader;
-    } else if (Arg == "--emit-spin") {
+    else if (Args.flag("--emit-spin"))
       Act = Action::EmitSpin;
-    } else if (Arg == "--dump-ir") {
+    else if (Args.flag("--dump-ir"))
       Act = Action::DumpIR;
-    } else if (Arg == "--check") {
+    else if (Args.flag("--check"))
       Act = Action::Check;
-    } else if (Arg == "--format") {
+    else if (Args.flag("--format"))
       Act = Action::Format;
-    } else if (Arg == "--run") {
+    else if (Args.flag("--run"))
       Act = Action::Run;
-    } else if (Arg == "-O0") {
+    else if (Args.flag("-O0"))
       Optimize = false;
-    } else if (Arg == "--safety") {
+    else if (Args.flag("--safety"))
       SafetyChecks = true;
-    } else if (Arg == "--analyze") {
+    else if (Args.flag("--analyze"))
       Analyze = true;
-    } else if (Arg == "-Wanalysis") {
+    else if (Args.flag("-Wanalysis"))
       AnalyzeAsWarnings = true;
-    } else if (Arg == "-o" && I + 1 < Argc) {
-      OutputPath = Argv[++I];
-    } else if (Arg == "--instances" && I + 1 < Argc) {
-      Instances = static_cast<unsigned>(std::atoi(Argv[++I]));
-    } else if (Arg == "--max-steps" && I + 1 < Argc) {
-      MaxSteps = static_cast<uint64_t>(std::atoll(Argv[++I]));
-    } else if (Arg == "--help" || Arg == "-h") {
-      printUsage();
-      return 0;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "espc: unknown option '%s'\n", Arg.c_str());
-      printUsage();
-      return 2;
-    } else {
-      if (!InputPath.empty()) {
-        std::fprintf(stderr, "espc: multiple input files\n");
-        return 2;
-      }
-      InputPath = Arg;
-    }
+    else if (Args.option("-o", OutputPath))
+      ;
+    else if (Args.optionUInt("--instances", Instances, 1))
+      ;
+    else if (Args.optionUInt("--max-steps", MaxSteps))
+      ;
+    else if (Args.positional()) {
+      if (!InputPath.empty())
+        Args.usageError("multiple input files");
+      else
+        InputPath = Args.arg();
+    } else
+      Args.unknownOrBuiltin();
   }
+  if (Args.shouldExit())
+    return Args.exitCode();
   if (InputPath.empty()) {
-    printUsage();
+    Args.printUsage();
     return 2;
   }
 
   SourceManager SM;
   DiagnosticEngine Diags(SM);
-  uint32_t FileId = SM.addFile(InputPath);
-  if (FileId == UINT32_MAX) {
-    std::fprintf(stderr, "espc: cannot read '%s'\n", InputPath.c_str());
-    return 1;
+  CompileOptions Options;
+  Options.Optimize = Optimize;
+  CompileResult R =
+      esp::compile(SM, Diags, {CompileInput::file(InputPath)}, Options);
+  if (!R.IOError.empty()) {
+    Args.error(R.IOError);
+    return Args.exitCode();
   }
-  Parser P(SM, FileId, Diags);
-  std::unique_ptr<Program> Prog = P.parseProgram();
-  bool OK = !Diags.hasErrors() && checkProgram(*Prog, Diags);
+  bool OK = R.Success;
   if (OK && (Analyze || AnalyzeAsWarnings)) {
     // The analyses run on the unoptimized lowering, like the model
     // checker, so findings map directly onto the source.
-    ModuleIR Unoptimized = lowerProgram(*Prog);
-    AnalysisResult Result = analyzeProgram(*Prog, Unoptimized);
+    AnalysisResult Result = analyzeProgram(*R.Prog, R.Module);
     reportFindings(Result, Diags, /*DemoteErrors=*/!Analyze);
     OK = !Diags.hasErrors();
   }
@@ -146,22 +136,20 @@ int main(int Argc, char **Argv) {
     return 1;
   if (Act == Action::Check) {
     std::fprintf(stderr, "espc: %s: ok (%zu processes, %zu channels)\n",
-                 InputPath.c_str(), Prog->Processes.size(),
-                 Prog->Channels.size());
+                 InputPath.c_str(), R.Prog->Processes.size(),
+                 R.Prog->Channels.size());
     return 0;
   }
 
   std::string Output;
   if (Act == Action::Format) {
-    Output = printProgram(*Prog);
+    Output = printProgram(*R.Prog);
   } else if (Act == Action::EmitSpin) {
-    PromelaGenOptions Options;
-    Options.Instances = Instances;
-    Output = generatePromela(*Prog, Options);
+    PromelaGenOptions PGOptions;
+    PGOptions.Instances = static_cast<unsigned>(Instances);
+    Output = generatePromela(*R.Prog, PGOptions);
   } else {
-    ModuleIR Module = lowerProgram(*Prog);
-    if (Optimize)
-      optimizeModule(Module, OptOptions::all());
+    const ModuleIR &Module = Optimize ? R.Optimized : R.Module;
     switch (Act) {
     case Action::EmitC: {
       CCodeGenOptions CGOptions;
@@ -176,7 +164,7 @@ int main(int Argc, char **Argv) {
       Output = Module.dump();
       break;
     case Action::Run: {
-      for (const std::unique_ptr<ChannelDecl> &Chan : Prog->Channels) {
+      for (const std::unique_ptr<ChannelDecl> &Chan : R.Prog->Channels) {
         if (Chan->Role != ChannelRole::Internal) {
           std::fprintf(stderr,
                        "espc: --run requires a closed program; channel "
@@ -187,7 +175,7 @@ int main(int Argc, char **Argv) {
       }
       Machine M(Module, MachineOptions());
       M.start();
-      Machine::StepResult R = M.run(MaxSteps);
+      StepResult Res = M.run(MaxSteps);
       if (M.error()) {
         std::fprintf(stderr, "espc: runtime error: %s (%s)\n",
                      M.error().Message.c_str(),
@@ -197,8 +185,7 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "espc: %s after %llu rendezvous, %llu instructions, "
                    "%llu context switches (%u live objects)\n",
-                   R == Machine::StepResult::Halted ? "halted"
-                                                    : "quiescent",
+                   Res == StepResult::Halted ? "halted" : "quiescent",
                    (unsigned long long)M.stats().Rendezvous,
                    (unsigned long long)M.stats().Instructions,
                    (unsigned long long)M.stats().ContextSwitches,

@@ -5,7 +5,8 @@
 // Runs the esplint analyses (deadlock, link/unlink balance, reachability,
 // see src/analysis/) over one or more ESP programs. Each input file is a
 // whole program: ESP has no separate compilation (§4), so the analyses
-// are whole-program by construction.
+// are whole-program by construction. Compilation goes through
+// esp::compile (src/driver/).
 //
 // The exit code is the total number of analysis (plus frontend) errors,
 // capped at 125 so it survives the 8-bit exit status.
@@ -13,15 +14,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analysis.h"
-#include "frontend/Parser.h"
-#include "frontend/Sema.h"
+#include "driver/Driver.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
+#include "support/ToolArgs.h"
 #include "vmmc/EspFirmwareSource.h"
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -29,25 +28,22 @@ using namespace esp;
 
 namespace {
 
-void printUsage() {
-  std::fprintf(
-      stderr,
-      "usage: esplint [options] <file.esp>...\n"
-      "\n"
-      "Whole-program static analysis for ESP: deadlock detection over the\n"
-      "communication topology, link/unlink balance (leaks and refcount\n"
-      "underflows), and reachability/usefulness checks. Exit code is the\n"
-      "number of errors found (capped at 125).\n"
-      "\n"
-      "options:\n"
-      "  --format=text|json  output format (default text)\n"
-      "  --no-deadlock       skip the deadlock search\n"
-      "  --no-links          skip the link/unlink balance analysis\n"
-      "  --no-reachability   skip the reachability checks\n"
-      "  --max-configs N     deadlock search state cap (default 1048576)\n"
-      "  --builtin-vmmc      also analyze the built-in VMMC firmware\n"
-      "  -q                  print errors only (warnings still counted)\n");
-}
+const char kUsage[] =
+    "usage: esplint [options] <file.esp>...\n"
+    "\n"
+    "Whole-program static analysis for ESP: deadlock detection over the\n"
+    "communication topology, link/unlink balance (leaks and refcount\n"
+    "underflows), and reachability/usefulness checks. Exit code is the\n"
+    "number of errors found (capped at 125).\n"
+    "\n"
+    "options:\n"
+    "  --format=text|json  output format (default text)\n"
+    "  --no-deadlock       skip the deadlock search\n"
+    "  --no-links          skip the link/unlink balance analysis\n"
+    "  --no-reachability   skip the reachability checks\n"
+    "  --max-configs N     deadlock search state cap (default 1048576)\n"
+    "  --builtin-vmmc      also analyze the built-in VMMC firmware\n"
+    "  -q                  print errors only (warnings still counted)\n";
 
 struct LintStats {
   unsigned Errors = 0;
@@ -55,32 +51,36 @@ struct LintStats {
   unsigned Files = 0;
 };
 
-/// Analyzes one registered buffer; renders to stdout. Returns false only
-/// when the program does not parse/check (frontend errors).
-bool lintBuffer(SourceManager &SM, uint32_t FileId, const std::string &Label,
-                const AnalysisOptions &Options, bool Json, bool Quiet,
-                bool &FirstJson, LintStats &Stats) {
-  ++Stats.Files;
+/// Analyzes one input; renders to stdout. Returns false only when the
+/// program does not parse/check (frontend errors).
+bool lintInput(SourceManager &SM, const CompileInput &Input,
+               const AnalysisOptions &Options, bool Json, bool Quiet,
+               bool &FirstJson, LintStats &Stats) {
   DiagnosticEngine Diags(SM);
-  Parser P(SM, FileId, Diags);
-  std::unique_ptr<Program> Prog = P.parseProgram();
-  if (Diags.hasErrors() || !checkProgram(*Prog, Diags)) {
+  CompileResult R = esp::compile(SM, Diags, {Input});
+  if (!R.IOError.empty()) {
+    std::fprintf(stderr, "esplint: %s\n", R.IOError.c_str());
+    ++Stats.Errors;
+    return false;
+  }
+  ++Stats.Files;
+  if (!R.Success) {
     std::fprintf(stderr, "%s", Diags.renderAll().c_str());
     std::fprintf(stderr, "esplint: %s: program does not compile; skipping "
                          "analysis\n",
-                 Label.c_str());
+                 Input.Name.c_str());
     Stats.Errors += Diags.getNumErrors();
     return false;
   }
 
-  ModuleIR Module = lowerProgram(*Prog); // Unoptimized, like the checker.
-  AnalysisResult Result = analyzeProgram(*Prog, Module, Options);
+  // The analyses run on the unoptimized lowering, like the checker.
+  AnalysisResult Result = analyzeProgram(*R.Prog, R.Module, Options);
   Stats.Errors += Result.numErrors();
   Stats.Warnings += Result.numWarnings();
 
   if (Json) {
     std::printf("%s{\"file\": \"%s\", \"analysis\": ", FirstJson ? "" : ",\n",
-                Label.c_str());
+                Input.Name.c_str());
     FirstJson = false;
     std::string Doc = renderFindingsJson(Result, SM);
     while (!Doc.empty() && (Doc.back() == '\n'))
@@ -100,7 +100,7 @@ bool lintBuffer(SourceManager &SM, uint32_t FileId, const std::string &Label,
   } else {
     std::printf("%s", renderFindingsText(Result, SM).c_str());
   }
-  std::printf("esplint: %s: %u error(s), %u warning(s)\n", Label.c_str(),
+  std::printf("esplint: %s: %u error(s), %u warning(s)\n", Input.Name.c_str(),
               Result.numErrors(), Result.numWarnings());
   return true;
 }
@@ -114,48 +114,37 @@ int main(int Argc, char **Argv) {
   bool BuiltinVmmc = false;
   std::vector<std::string> Inputs;
 
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg == "--format=text") {
+  ToolArgs Args(Argc, Argv, "esplint", kUsage);
+  while (Args.next()) {
+    std::string Format;
+    uint64_t MaxConfigs = 0;
+    if (Args.flag("--format=text"))
       Json = false;
-    } else if (Arg == "--format=json") {
+    else if (Args.flag("--format=json"))
       Json = true;
-    } else if (Arg == "--format" && I + 1 < Argc) {
-      Json = std::strcmp(Argv[++I], "json") == 0;
-    } else if (Arg == "--no-deadlock") {
+    else if (Args.option("--format", Format))
+      Json = Format == "json";
+    else if (Args.flag("--no-deadlock"))
       Options.CheckDeadlock = false;
-    } else if (Arg == "--no-links") {
+    else if (Args.flag("--no-links"))
       Options.CheckLinkBalance = false;
-    } else if (Arg == "--no-reachability") {
+    else if (Args.flag("--no-reachability"))
       Options.CheckReachability = false;
-    } else if (Arg == "--max-configs" && I + 1 < Argc) {
-      char *End = nullptr;
-      unsigned long long Value = std::strtoull(Argv[++I], &End, 10);
-      if (End == Argv[I] || *End != '\0' || Value == 0) {
-        std::fprintf(stderr,
-                     "esplint: --max-configs expects a positive integer, "
-                     "got '%s'\n",
-                     Argv[I]);
-        return 2;
-      }
-      Options.MaxConfigs = static_cast<uint64_t>(Value);
-    } else if (Arg == "--builtin-vmmc") {
+    else if (Args.optionUInt("--max-configs", MaxConfigs, 1))
+      Options.MaxConfigs = MaxConfigs;
+    else if (Args.flag("--builtin-vmmc"))
       BuiltinVmmc = true;
-    } else if (Arg == "-q") {
+    else if (Args.flag("-q"))
       Quiet = true;
-    } else if (Arg == "--help" || Arg == "-h") {
-      printUsage();
-      return 0;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "esplint: unknown option '%s'\n", Arg.c_str());
-      printUsage();
-      return 2;
-    } else {
-      Inputs.push_back(Arg);
-    }
+    else if (Args.positional())
+      Inputs.push_back(Args.arg());
+    else
+      Args.unknownOrBuiltin();
   }
+  if (Args.shouldExit())
+    return Args.exitCode();
   if (Inputs.empty() && !BuiltinVmmc) {
-    printUsage();
+    Args.printUsage();
     return 2;
   }
 
@@ -164,20 +153,13 @@ int main(int Argc, char **Argv) {
   bool FirstJson = true;
   if (Json)
     std::printf("[");
-  for (const std::string &Path : Inputs) {
-    uint32_t FileId = SM.addFile(Path);
-    if (FileId == UINT32_MAX) {
-      std::fprintf(stderr, "esplint: cannot read '%s'\n", Path.c_str());
-      ++Stats.Errors;
-      continue;
-    }
-    lintBuffer(SM, FileId, Path, Options, Json, Quiet, FirstJson, Stats);
-  }
+  for (const std::string &Path : Inputs)
+    lintInput(SM, CompileInput::file(Path), Options, Json, Quiet, FirstJson,
+              Stats);
   if (BuiltinVmmc) {
-    uint32_t FileId =
-        SM.addBuffer("<builtin-vmmc>", vmmc::getVmmcEspSource());
-    lintBuffer(SM, FileId, "<builtin-vmmc>", Options, Json, Quiet, FirstJson,
-               Stats);
+    lintInput(SM,
+              CompileInput::buffer("<builtin-vmmc>", vmmc::getVmmcEspSource()),
+              Options, Json, Quiet, FirstJson, Stats);
   }
   if (Json)
     std::printf("%s]\n", FirstJson ? "" : "\n");

@@ -6,20 +6,19 @@
 // test-harness ESP files (the analogue of the paper's test.SPIN files —
 // extra processes that generate external events and assert properties),
 // then explores the state space. Also runs the §5.3 per-process
-// memory-safety harness.
+// memory-safety harness. Compilation goes through esp::compile
+// (src/driver/), which concatenates program and harness files.
 //
 //===----------------------------------------------------------------------===//
 
-#include "frontend/Parser.h"
-#include "frontend/Sema.h"
+#include "driver/Driver.h"
 #include "mc/SafetyHarness.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
+#include "support/ToolArgs.h"
 
 #include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <sstream>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -27,60 +26,46 @@ using namespace esp;
 
 namespace {
 
-void printUsage() {
-  std::fprintf(
-      stderr,
-      "usage: espmc [options] <file.esp> [harness.esp ...]\n"
-      "\n"
-      "The ESP verifier (PLDI 2001 reproduction of the SPIN workflow).\n"
-      "Harness files are concatenated with the program, as the paper\n"
-      "combines pgm.SPIN with test.SPIN.\n"
-      "\n"
-      "options:\n"
-      "  --mode exhaustive|bitstate|sim   exploration mode (default\n"
-      "                                   exhaustive, section 5.1)\n"
-      "  --process <name>    verify one process's memory safety against\n"
-      "                      a nondeterministic environment (section 5.3)\n"
-      "  --max-states N      state bound (default 10000000)\n"
-      "  --max-depth N       search depth bound; a truncated exhaustive\n"
-      "                      search reports 'verified (partial)'\n"
-      "  --max-objects N     object-table bound; exhaustion = leak\n"
-      "  --visited exact|hash64|hash128\n"
-      "                      visited-state storage for exhaustive search\n"
-      "                      (default hash64: 64-bit hash compaction;\n"
-      "                      exact stores full state vectors)\n"
-      "  --collapse / --no-collapse\n"
-      "                      COLLAPSE compression of exact-mode state\n"
-      "                      vectors (default on)\n"
-      "  --snapshot-stride N keep one machine snapshot every N DFS levels\n"
-      "                      and replay moves in between (default 16)\n"
-      "  --bits N            bit-state table log2 size (default 24,\n"
-      "                      clamped to [10,28])\n"
-      "  --runs N            simulation runs (default 256)\n"
-      "  --seed N            simulation / swarm base seed\n"
-      "  --jobs N            worker threads (default 1: the sequential\n"
-      "                      engine; 0 = one per hardware thread). A\n"
-      "                      completed exhaustive search reports the same\n"
-      "                      verdict and stored-state count at any N\n"
-      "  --swarm             with --mode bitstate --jobs N: independent\n"
-      "                      searches per worker with distinct hash seeds\n"
-      "                      and randomized move order; coverage is the\n"
-      "                      union of the workers'\n"
-      "  --no-deadlock       do not report deadlocks\n"
-      "  --no-leaks          do not report unreachable live objects\n"
-      "  --int-domain a,b,c  environment int values (default 0,1)\n");
-}
-
-std::string readFileOrDie(const std::string &Path) {
-  std::ifstream In(Path, std::ios::binary);
-  if (!In) {
-    std::fprintf(stderr, "espmc: cannot read '%s'\n", Path.c_str());
-    std::exit(1);
-  }
-  std::ostringstream Text;
-  Text << In.rdbuf();
-  return Text.str();
-}
+const char kUsage[] =
+    "usage: espmc [options] <file.esp> [harness.esp ...]\n"
+    "\n"
+    "The ESP verifier (PLDI 2001 reproduction of the SPIN workflow).\n"
+    "Harness files are concatenated with the program, as the paper\n"
+    "combines pgm.SPIN with test.SPIN.\n"
+    "\n"
+    "options:\n"
+    "  --mode exhaustive|bitstate|sim   exploration mode (default\n"
+    "                                   exhaustive, section 5.1)\n"
+    "  --process <name>    verify one process's memory safety against\n"
+    "                      a nondeterministic environment (section 5.3)\n"
+    "  --max-states N      state bound (default 10000000)\n"
+    "  --max-depth N       search depth bound; a truncated exhaustive\n"
+    "                      search reports 'verified (partial)'\n"
+    "  --max-objects N     object-table bound; exhaustion = leak\n"
+    "  --visited exact|hash64|hash128\n"
+    "                      visited-state storage for exhaustive search\n"
+    "                      (default hash64: 64-bit hash compaction;\n"
+    "                      exact stores full state vectors)\n"
+    "  --collapse / --no-collapse\n"
+    "                      COLLAPSE compression of exact-mode state\n"
+    "                      vectors (default on)\n"
+    "  --snapshot-stride N keep one machine snapshot every N DFS levels\n"
+    "                      and replay moves in between (default 16)\n"
+    "  --bits N            bit-state table log2 size (default 24,\n"
+    "                      clamped to [10,28])\n"
+    "  --runs N            simulation runs (default 256)\n"
+    "  --seed N            simulation / swarm base seed\n"
+    "  --jobs N            worker threads (default 1: the sequential\n"
+    "                      engine; 0 = one per hardware thread). A\n"
+    "                      completed exhaustive search reports the same\n"
+    "                      verdict and stored-state count at any N\n"
+    "  --swarm             with --mode bitstate --jobs N: independent\n"
+    "                      searches per worker with distinct hash seeds\n"
+    "                      and randomized move order; coverage is the\n"
+    "                      union of the workers'\n"
+    "  --no-deadlock       do not report deadlocks\n"
+    "  --no-leaks          do not report unreachable live objects\n"
+    "  --int-domain a,b,c  environment int values (default 0,1)\n";
 
 } // namespace
 
@@ -90,121 +75,112 @@ int main(int Argc, char **Argv) {
   std::vector<std::string> Inputs;
   std::vector<int64_t> IntDomain = {0, 1};
 
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg == "--mode" && I + 1 < Argc) {
-      std::string Mode = Argv[++I];
-      if (Mode == "exhaustive")
+  ToolArgs Args(Argc, Argv, "espmc", kUsage);
+  while (Args.next()) {
+    std::string Text;
+    uint64_t Num = 0;
+    if (Args.option("--mode", Text)) {
+      if (Text == "exhaustive")
         Mc.Mode = SearchMode::Exhaustive;
-      else if (Mode == "bitstate")
+      else if (Text == "bitstate")
         Mc.Mode = SearchMode::BitState;
-      else if (Mode == "sim")
+      else if (Text == "sim")
         Mc.Mode = SearchMode::Simulation;
-      else {
-        std::fprintf(stderr, "espmc: unknown mode '%s'\n", Mode.c_str());
-        return 2;
-      }
-    } else if (Arg == "--process" && I + 1 < Argc) {
-      ProcessName = Argv[++I];
-    } else if (Arg == "--max-states" && I + 1 < Argc) {
-      Mc.MaxStates = static_cast<uint64_t>(std::atoll(Argv[++I]));
-    } else if ((Arg == "--max-depth" || Arg == "--maxdepth") && I + 1 < Argc) {
-      Mc.MaxDepth = static_cast<unsigned>(std::atoi(Argv[++I]));
-    } else if (Arg == "--max-objects" && I + 1 < Argc) {
-      Mc.MaxObjects = static_cast<uint32_t>(std::atoi(Argv[++I]));
-    } else if (Arg == "--visited" && I + 1 < Argc) {
-      std::string Kind = Argv[++I];
-      if (Kind == "exact")
+      else if (!Args.shouldExit())
+        Args.usageError("unknown mode '" + Text + "'");
+    } else if (Args.option("--process", ProcessName)) {
+      ;
+    } else if (Args.optionUInt("--max-states", Num)) {
+      Mc.MaxStates = Num;
+    } else if (Args.optionUInt("--max-depth", Num) ||
+               Args.optionUInt("--maxdepth", Num)) {
+      Mc.MaxDepth = static_cast<unsigned>(Num);
+    } else if (Args.optionUInt("--max-objects", Num)) {
+      Mc.MaxObjects = static_cast<uint32_t>(Num);
+    } else if (Args.option("--visited", Text)) {
+      if (Text == "exact")
         Mc.Visited = VisitedKind::Exact;
-      else if (Kind == "hash64")
+      else if (Text == "hash64")
         Mc.Visited = VisitedKind::Hash64;
-      else if (Kind == "hash128")
+      else if (Text == "hash128")
         Mc.Visited = VisitedKind::Hash128;
-      else {
-        std::fprintf(stderr, "espmc: unknown visited kind '%s'\n",
-                     Kind.c_str());
-        return 2;
-      }
-    } else if (Arg == "--collapse") {
+      else if (!Args.shouldExit())
+        Args.usageError("unknown visited kind '" + Text + "'");
+    } else if (Args.flag("--collapse")) {
       Mc.Collapse = true;
-    } else if (Arg == "--no-collapse") {
+    } else if (Args.flag("--no-collapse")) {
       Mc.Collapse = false;
-    } else if (Arg == "--snapshot-stride" && I + 1 < Argc) {
-      Mc.SnapshotStride = static_cast<unsigned>(std::atoi(Argv[++I]));
-    } else if (Arg == "--bits" && I + 1 < Argc) {
-      unsigned Bits = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (Args.optionUInt("--snapshot-stride", Num)) {
+      Mc.SnapshotStride = static_cast<unsigned>(Num);
+    } else if (Args.optionUInt("--bits", Num)) {
+      unsigned Bits = static_cast<unsigned>(Num);
       if (clampedBitStateBits(Bits) != Bits)
         std::fprintf(stderr, "espmc: --bits %u out of range, clamping to %u\n",
                      Bits, clampedBitStateBits(Bits));
       Mc.BitStateBits = Bits;
-    } else if (Arg == "--runs" && I + 1 < Argc) {
-      Mc.SimulationRuns = static_cast<uint64_t>(std::atoll(Argv[++I]));
-    } else if (Arg == "--seed" && I + 1 < Argc) {
-      Mc.Seed = static_cast<uint64_t>(std::atoll(Argv[++I]));
-    } else if (Arg == "--jobs" && I + 1 < Argc) {
-      Mc.Jobs = static_cast<unsigned>(std::atoi(Argv[++I]));
-    } else if (Arg == "--swarm") {
+    } else if (Args.optionUInt("--runs", Num)) {
+      Mc.SimulationRuns = Num;
+    } else if (Args.optionUInt("--seed", Num)) {
+      Mc.Seed = Num;
+    } else if (Args.optionUInt("--jobs", Num)) {
+      Mc.Jobs = static_cast<unsigned>(Num);
+    } else if (Args.flag("--swarm")) {
       Mc.Swarm = true;
-    } else if (Arg == "--no-deadlock") {
+    } else if (Args.flag("--no-deadlock")) {
       Mc.CheckDeadlock = false;
-    } else if (Arg == "--no-leaks") {
+    } else if (Args.flag("--no-leaks")) {
       Mc.CheckLeaks = false;
-    } else if (Arg == "--int-domain" && I + 1 < Argc) {
+    } else if (Args.option("--int-domain", Text)) {
       IntDomain.clear();
-      std::string Spec = Argv[++I];
       size_t Pos = 0;
-      while (Pos < Spec.size()) {
-        size_t Comma = Spec.find(',', Pos);
+      while (Pos < Text.size()) {
+        size_t Comma = Text.find(',', Pos);
         if (Comma == std::string::npos)
-          Comma = Spec.size();
-        IntDomain.push_back(std::atoll(Spec.substr(Pos, Comma - Pos).c_str()));
+          Comma = Text.size();
+        IntDomain.push_back(std::atoll(Text.substr(Pos, Comma - Pos).c_str()));
         Pos = Comma + 1;
       }
-    } else if (Arg == "--help" || Arg == "-h") {
-      printUsage();
-      return 0;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "espmc: unknown option '%s'\n", Arg.c_str());
-      printUsage();
-      return 2;
+    } else if (Args.positional()) {
+      Inputs.push_back(Args.arg());
     } else {
-      Inputs.push_back(Arg);
+      Args.unknownOrBuiltin();
     }
   }
+  if (Args.shouldExit())
+    return Args.exitCode();
   if (Inputs.empty()) {
-    printUsage();
+    Args.printUsage();
     return 2;
   }
 
-  // Concatenate the program with its test harness files (Figure 4).
-  std::string Combined;
-  for (const std::string &Path : Inputs) {
-    Combined += "// ---- ";
-    Combined += Path;
-    Combined += " ----\n";
-    Combined += readFileOrDie(Path);
-    Combined += "\n";
-  }
+  // The program plus its test harness files compile as one buffer
+  // (Figure 4); the driver adds the concatenation banners.
+  std::vector<CompileInput> Files;
+  for (const std::string &Path : Inputs)
+    Files.push_back(CompileInput::file(Path));
+  CompileOptions Options;
+  Options.Concatenate = true;
 
   SourceManager SM;
   DiagnosticEngine Diags(SM);
-  std::unique_ptr<Program> Prog =
-      Parser::parse(SM, Diags, Inputs[0], Combined);
-  bool OK = Prog && checkProgram(*Prog, Diags);
+  CompileResult R = esp::compile(SM, Diags, Files, Options);
+  if (!R.IOError.empty()) {
+    Args.error(R.IOError);
+    return Args.exitCode();
+  }
   std::fprintf(stderr, "%s", Diags.renderAll().c_str());
-  if (!OK)
+  if (!R.Success)
     return 1;
 
   McResult Result;
   if (!ProcessName.empty()) {
-    SafetyOptions Options;
-    Options.IntDomain = IntDomain;
-    Options.Mc = Mc;
-    Result = verifyProcessMemorySafety(*Prog, ProcessName, Options);
+    SafetyOptions SafOptions;
+    SafOptions.IntDomain = IntDomain;
+    SafOptions.Mc = Mc;
+    Result = verifyProcessMemorySafety(*R.Prog, ProcessName, SafOptions);
   } else {
     // Whole-system verification: the harness must close the program.
-    ModuleIR Module = lowerProgram(*Prog);
-    Result = checkModel(Module, Mc);
+    Result = checkModel(R.Module, Mc);
   }
   std::printf("%s", Result.report().c_str());
   return Result.foundViolation() ? 3 : 0;

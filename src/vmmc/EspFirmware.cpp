@@ -6,8 +6,7 @@
 
 #include "vmmc/EspFirmware.h"
 
-#include "frontend/Parser.h"
-#include "frontend/Sema.h"
+#include "driver/Driver.h"
 #include "support/StringExtras.h"
 #include "vmmc/EspFirmwareSource.h"
 
@@ -276,14 +275,18 @@ private:
 
 EspFirmware::EspFirmware(OptOptions Optimize) {
   Diags = std::make_unique<DiagnosticEngine>(SM);
-  Prog = Parser::parse(SM, *Diags, "vmmc.esp", getVmmcEspSource());
-  if (!Prog || !checkProgram(*Prog, *Diags)) {
+  CompileOptions Options;
+  Options.Optimize = true;
+  Options.Opt = Optimize;
+  CompileResult R =
+      compileBuffer(SM, *Diags, "vmmc.esp", getVmmcEspSource(), Options);
+  if (!R.Success) {
     std::fprintf(stderr, "VMMC ESP firmware failed to compile:\n%s",
                  Diags->renderAll().c_str());
     std::abort();
   }
-  Module = lowerProgram(*Prog);
-  optimizeModule(Module, Optimize);
+  Prog = std::move(R.Prog);
+  Module = std::move(R.Optimized);
 
   MachineOptions MO;
   MO.MaxObjects = 0;

@@ -13,6 +13,7 @@
 #ifndef ESP_TESTS_TESTHELPERS_H
 #define ESP_TESTS_TESTHELPERS_H
 
+#include "driver/Driver.h"
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
 #include "ir/IR.h"
@@ -45,18 +46,19 @@ inline std::unique_ptr<Compilation>
 compile(const std::string &Source,
         const OptOptions *Options = nullptr) {
   auto C = std::make_unique<Compilation>();
-  C->Prog = Parser::parse(C->SM, *C->Diags, "test.esp", Source);
-  if (!C->Prog) {
-    ADD_FAILURE() << "parse failed:\n" << C->Diags->renderAll();
+  CompileOptions Opts;
+  if (Options) {
+    Opts.Optimize = true;
+    Opts.Opt = *Options;
+  }
+  CompileResult R =
+      compileBuffer(C->SM, *C->Diags, "test.esp", Source, Opts);
+  if (!R.Success) {
+    ADD_FAILURE() << "compile failed:\n" << C->Diags->renderAll();
     return nullptr;
   }
-  if (!checkProgram(*C->Prog, *C->Diags)) {
-    ADD_FAILURE() << "sema failed:\n" << C->Diags->renderAll();
-    return nullptr;
-  }
-  C->Module = lowerProgram(*C->Prog);
-  if (Options)
-    optimizeModule(C->Module, *Options);
+  C->Prog = std::move(R.Prog);
+  C->Module = Options ? std::move(R.Optimized) : std::move(R.Module);
   return C;
 }
 

@@ -1,0 +1,172 @@
+//===--- test_determinism.cpp - Fast-path bit-identical search counts ----------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+// The runtime fast path (precompiled dispatch, blocked bitmasks, pattern
+// prefilter, heap free lists) must not change what the model checker
+// explores: enumerateMoves stays canonically pure, so every exhaustive
+// search reports bit-identical verdict, states explored, states stored,
+// and transitions. The counts below are golden values captured from the
+// IR-walking interpreter; any drift means the fast path changed
+// semantics, not just speed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "mc/ModelChecker.h"
+#include "mc/SafetyHarness.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "vmmc/EspFirmwareSource.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace esp;
+
+namespace {
+
+std::string readExample(const std::string &Name) {
+  std::string Path = std::string(ESP_SOURCE_DIR) + "/examples/esp/" + Name;
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In) << "cannot read " << Path;
+  std::ostringstream Text;
+  Text << In.rdbuf();
+  return Text.str();
+}
+
+struct ProcessGolden {
+  const char *Process;
+  McVerdict Verdict;
+  uint64_t Explored;
+  uint64_t Stored;
+  uint64_t Transitions;
+};
+
+void expectCounts(const McResult &R, const ProcessGolden &G,
+                  const std::string &Label) {
+  EXPECT_EQ(R.Verdict, G.Verdict) << Label;
+  EXPECT_EQ(R.StatesExplored, G.Explored) << Label;
+  EXPECT_EQ(R.StatesStored, G.Stored) << Label;
+  EXPECT_EQ(R.Transitions, G.Transitions) << Label;
+}
+
+void checkProcessGoldens(const std::string &Source, const char *SourceName,
+                         const ProcessGolden *Goldens, size_t NumGoldens,
+                         uint64_t MaxStates = 0) {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  CompileResult R = compileBuffer(SM, Diags, SourceName, Source);
+  ASSERT_TRUE(R.Success) << Diags.renderAll();
+  for (size_t I = 0; I != NumGoldens; ++I) {
+    SafetyOptions Options;
+    if (MaxStates)
+      Options.Mc.MaxStates = MaxStates;
+    McResult Result =
+        verifyProcessMemorySafety(*R.Prog, Goldens[I].Process, Options);
+    expectCounts(Result, Goldens[I],
+                 std::string(SourceName) + " --process " +
+                     Goldens[I].Process);
+  }
+}
+
+struct SystemGolden {
+  const char *File;
+  McVerdict Verdict;
+  uint64_t Explored;
+  uint64_t Stored;
+  uint64_t Transitions;
+};
+
+TEST(Determinism, VmmcPerProcessCounts) {
+  static const ProcessGolden Goldens[] = {
+      {"pageTable", McVerdict::OK, 221, 45, 220},
+      {"userReq", McVerdict::OK, 745, 105, 744},
+      {"deliver", McVerdict::OK, 285, 29, 284},
+  };
+  checkProcessGoldens(vmmc::getVmmcEspSource(), "vmmc.esp", Goldens,
+                      std::size(Goldens));
+}
+
+TEST(Determinism, VmmcBoundedSearchCounts) {
+  // Truncated searches exercise the DFS order itself: the same 50000
+  // states must be popped in the same order for the counts to agree.
+  static const ProcessGolden Goldens[] = {
+      {"txWindow", McVerdict::StateLimit, 50000, 7049, 49999},
+      {"rxDemux", McVerdict::StateLimit, 50000, 882, 49999},
+  };
+  checkProcessGoldens(vmmc::getVmmcEspSource(), "vmmc.esp", Goldens,
+                      std::size(Goldens), /*MaxStates=*/50000);
+}
+
+TEST(Determinism, VmmcParallelSearchMatchesSequential) {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  CompileResult R =
+      compileBuffer(SM, Diags, "vmmc.esp", vmmc::getVmmcEspSource());
+  ASSERT_TRUE(R.Success) << Diags.renderAll();
+  for (unsigned Jobs : {1u, 2u, 4u}) {
+    SafetyOptions Options;
+    Options.Mc.Jobs = Jobs;
+    McResult Result = verifyProcessMemorySafety(*R.Prog, "pageTable", Options);
+    ProcessGolden G = {"pageTable", McVerdict::OK, 221, 45, 220};
+    expectCounts(Result, G, "pageTable --jobs " + std::to_string(Jobs));
+  }
+}
+
+TEST(Determinism, ExamplesPerProcessCounts) {
+  {
+    static const ProcessGolden Goldens[] = {
+        {"translator", McVerdict::OK, 33, 21, 32},
+        {"pageTable", McVerdict::OK, 325, 65, 324},
+    };
+    checkProcessGoldens(readExample("pagetable.esp"), "pagetable.esp",
+                        Goldens, std::size(Goldens));
+  }
+  {
+    static const ProcessGolden Goldens[] = {
+        {"producer", McVerdict::OK, 11, 11, 10},
+        {"add5", McVerdict::OK, 9, 5, 8},
+        {"consumer", McVerdict::Violation, 2, 1, 1},
+    };
+    checkProcessGoldens(readExample("quickstart.esp"), "quickstart.esp",
+                        Goldens, std::size(Goldens));
+  }
+  {
+    static const ProcessGolden Goldens[] = {
+        {"sender", McVerdict::OK, 12, 6, 11},
+        {"wire", McVerdict::OK, 21, 7, 20},
+        {"receiver", McVerdict::Violation, 5, 3, 4},
+        {"sink", McVerdict::OK, 7, 3, 6},
+    };
+    checkProcessGoldens(readExample("sliding_window.esp"),
+                        "sliding_window.esp", Goldens, std::size(Goldens));
+  }
+}
+
+TEST(Determinism, ExamplesWholeSystemCounts) {
+  // Whole-system searches under the default options; all three examples
+  // end in an expected terminal violation (deadlock or assertion) with
+  // fixed counts.
+  static const SystemGolden Goldens[] = {
+      {"pagetable.esp", McVerdict::Violation, 1, 1, 0},
+      {"quickstart.esp", McVerdict::Violation, 21, 21, 20},
+      {"sliding_window.esp", McVerdict::Violation, 19, 16, 18},
+  };
+  for (const SystemGolden &G : Goldens) {
+    SourceManager SM;
+    DiagnosticEngine Diags(SM);
+    CompileResult R = compileBuffer(SM, Diags, G.File, readExample(G.File));
+    ASSERT_TRUE(R.Success) << Diags.renderAll();
+    McResult Result = checkModel(R.Module, McOptions());
+    EXPECT_EQ(Result.Verdict, G.Verdict) << G.File;
+    EXPECT_EQ(Result.StatesExplored, G.Explored) << G.File;
+    EXPECT_EQ(Result.StatesStored, G.Stored) << G.File;
+    EXPECT_EQ(Result.Transitions, G.Transitions) << G.File;
+  }
+}
+
+} // namespace

@@ -159,4 +159,71 @@ TEST_F(HeapTest, CopyableForSnapshots) {
   EXPECT_EQ(Copy.deref(V)->Elems[0].Scalar, 42);
 }
 
+TEST_F(HeapTest, FreeListReusesSlotsInLifoOrder) {
+  Heap H;
+  Value A = *H.allocate(arrayType(), 2);
+  Value B = *H.allocate(arrayType(), 2);
+  EXPECT_EQ(H.unlink(A), HeapStatus::OK);
+  EXPECT_EQ(H.unlink(B), HeapStatus::OK);
+  // B freed last, so it is reused first; no table growth.
+  Value C = *H.allocate(arrayType(), 3);
+  Value D = *H.allocate(arrayType(), 3);
+  EXPECT_EQ(C.Ref, B.Ref);
+  EXPECT_EQ(D.Ref, A.Ref);
+  EXPECT_EQ(H.objects().size(), 2u);
+  EXPECT_EQ(H.getTotalAllocations(), 4u);
+  EXPECT_EQ(H.getLiveCount(), 2u);
+  EXPECT_EQ(H.deref(C)->Elems.size(), 3u);
+}
+
+TEST_F(HeapTest, GenerationBumpDetectsUseAfterFreeAcrossReuse) {
+  Heap H;
+  Value Stale = *H.allocate(recordType(), 1);
+  EXPECT_EQ(H.unlink(Stale), HeapStatus::OK);
+  EXPECT_EQ(H.deref(Stale), nullptr) << "freed slot must not deref";
+  // Reuse the slot: the stale reference's generation no longer matches,
+  // so the use-after-free is still caught.
+  Value Fresh = *H.allocate(recordType(), 1);
+  ASSERT_EQ(Fresh.Ref, Stale.Ref);
+  EXPECT_NE(Fresh.Gen, Stale.Gen);
+  EXPECT_EQ(H.deref(Stale), nullptr);
+  EXPECT_NE(H.deref(Fresh), nullptr);
+  EXPECT_EQ(H.link(Stale), HeapStatus::DeadObject);
+  EXPECT_EQ(H.unlink(Stale), HeapStatus::DeadObject);
+}
+
+TEST_F(HeapTest, GenerationParityTracksLiveness) {
+  Heap H;
+  H.setFullChecks(true); // Verification mode: parity invariant asserted.
+  Value V = *H.allocate(arrayType(), 1);
+  EXPECT_EQ(H.deref(V)->Gen & 1, 0u) << "live objects have even generations";
+  uint32_t LiveGen = V.Gen;
+  EXPECT_EQ(H.unlink(V), HeapStatus::OK);
+  EXPECT_EQ(H.deref(V), nullptr);
+  Value Reused = *H.allocate(arrayType(), 1);
+  EXPECT_EQ(Reused.Ref, V.Ref);
+  EXPECT_EQ(Reused.Gen, LiveGen + 2) << "free and reuse each bump once";
+  EXPECT_NE(H.deref(Reused), nullptr);
+}
+
+TEST_F(HeapTest, NoReuseModeKeepsRetiringSlots) {
+  Heap H(/*MaxObjects=*/0, /*ReuseIds=*/false);
+  Value A = *H.allocate(arrayType(), 1);
+  EXPECT_EQ(H.unlink(A), HeapStatus::OK);
+  Value B = *H.allocate(arrayType(), 1);
+  EXPECT_NE(A.Ref, B.Ref) << "without reuse every allocation grows the table";
+  EXPECT_EQ(H.objects().size(), 2u);
+}
+
+TEST_F(HeapTest, BoundedTableStillExhaustsWithFreeList) {
+  Heap H(/*MaxObjects=*/2);
+  Value A = *H.allocate(arrayType(), 1);
+  Value B = *H.allocate(arrayType(), 1);
+  EXPECT_FALSE(H.allocate(arrayType(), 1)) << "table is full";
+  EXPECT_EQ(H.unlink(A), HeapStatus::OK);
+  EXPECT_TRUE(H.allocate(arrayType(), 1)) << "freed slot is available again";
+  EXPECT_FALSE(H.allocate(arrayType(), 1));
+  EXPECT_TRUE(H.isLive(B));
+}
+
 } // namespace

@@ -408,4 +408,73 @@ TEST(Machine, OptimizedModuleProducesSameResult) {
   EXPECT_EQ(M.run(10000), Machine::StepResult::Halted) << M.error().Message;
 }
 
+/// Records every observer callback for assertion.
+struct CountingObserver : MachineObserver {
+  uint64_t Steps = 0;
+  uint64_t Sends = 0;
+  uint64_t Recvs = 0;
+  uint64_t Allocs = 0;
+  StepResult Last = StepResult::Progress;
+
+  void onStep(const Machine &, StepResult Result) override {
+    ++Steps;
+    Last = Result;
+  }
+  void onSend(const Machine &, uint32_t, int) override { ++Sends; }
+  void onRecv(const Machine &, uint32_t, int) override { ++Recvs; }
+  void onAlloc(const Machine &, const Value &) override { ++Allocs; }
+};
+
+TEST(Machine, ObserverSeesStepsAndRendezvous) {
+  auto C = compile(PipelineSource);
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  CountingObserver Obs;
+  M.setObserver(&Obs);
+  M.start();
+  EXPECT_EQ(M.run(10000), StepResult::Halted);
+  EXPECT_GT(Obs.Steps, 0u);
+  EXPECT_EQ(Obs.Last, StepResult::Halted);
+  // Ten rendezvous: five on c1, five on c2; each fires both callbacks.
+  EXPECT_EQ(Obs.Sends, M.stats().Rendezvous);
+  EXPECT_EQ(Obs.Recvs, M.stats().Rendezvous);
+  EXPECT_EQ(Obs.Sends, 10u);
+}
+
+TEST(Machine, ObserverSeesAllocations) {
+  const char *Source = R"(
+type msgT = record of { a: int, b: int }
+channel c: msgT
+process w {
+  $i = 0;
+  while (i < 4) { out(c, { i, i }); i = i + 1; }
+}
+process r {
+  $n = 0;
+  while (n < 4) { in(c, { $a, $b }); n = n + 1; }
+}
+)";
+  auto C = compile(Source);
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  CountingObserver Obs;
+  M.setObserver(&Obs);
+  M.start();
+  EXPECT_EQ(M.run(10000), StepResult::Halted) << M.error().Message;
+  EXPECT_EQ(Obs.Allocs, M.heap().getTotalAllocations());
+  EXPECT_GT(Obs.Allocs, 0u);
+}
+
+TEST(Machine, StepResultIsTheNamespaceScopeEnum) {
+  // Out-of-tree callers spell the result either way; both must compile
+  // and agree.
+  static_assert(std::is_same_v<Machine::StepResult, esp::StepResult>);
+  auto C = compile(PipelineSource);
+  ASSERT_TRUE(C);
+  Machine M(C->Module, MachineOptions());
+  M.start();
+  esp::StepResult R = M.step();
+  EXPECT_TRUE(R == StepResult::Progress || R == StepResult::Quiescent);
+}
+
 } // namespace
