@@ -11,17 +11,38 @@
 //
 // Build and run:  ./build/examples/vmmc_demo
 //
+// With --trace <file>, additionally runs a traced pingpong and writes a
+// Chrome trace_event JSON of node 0's ESP firmware in simulated NIC
+// time (load in chrome://tracing or Perfetto; see docs/observability.md).
+//
 //===----------------------------------------------------------------------===//
 
+#include "obs/Trace.h"
+#include "vmmc/EspFirmware.h"
 #include "vmmc/EspFirmwareSource.h"
 #include "vmmc/Workloads.h"
 
 #include <cstdio>
+#include <memory>
+#include <string>
 
 using namespace esp;
 using namespace esp::vmmc;
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string TracePath;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--trace" && I + 1 < Argc) {
+      TracePath = Argv[++I];
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = Arg.substr(8);
+    } else {
+      std::fprintf(stderr, "usage: vmmc_demo [--trace <file>]\n");
+      return 2;
+    }
+  }
+
   std::printf("VMMC firmware in ESP: %u lines of declarations + %u lines "
               "of process code\n\n",
               getVmmcEspDeclLines(), getVmmcEspProcessLines());
@@ -48,5 +69,30 @@ int main() {
   std::printf("\none-way bandwidth at 64KB:\n");
   WorkloadResult Bw = runOneWay(FirmwareKind::Esp, 65536, 16);
   std::printf("  vmmcESP: %.1f MB/s\n", Bw.BandwidthMBs);
+
+  if (!TracePath.empty()) {
+    // Trace node 0's firmware (the first one the factory builds) over a
+    // 1KB pingpong; the firmware closes the trace when the simulator
+    // tears it down.
+    obs::TraceWriter Trace;
+    bool TracedFirst = false;
+    runPingpongWith(
+        [&] {
+          auto FW = std::make_unique<EspFirmware>();
+          if (!TracedFirst) {
+            TracedFirst = true;
+            FW->enableTracing(Trace);
+          }
+          return FW;
+        },
+        1024, 12);
+    if (!Trace.writeFile(TracePath)) {
+      std::fprintf(stderr, "vmmc_demo: cannot write '%s'\n",
+                   TracePath.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %zu trace events to %s\n", Trace.eventCount(),
+                TracePath.c_str());
+  }
   return Lossy.Completed ? 0 : 1;
 }

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Pin the observer-disabled runtime overhead against a recorded baseline.
+
+Compares a fresh `bench_runtime --quick --json` run against the committed
+baseline (bench/BENCH_runtime.quick.baseline.json, recorded before the obs
+subsystem landed). With observability off the new observer hooks must be
+dead branches, so wall-clock rows may not regress by more than
+--max-regress percent (after --tolerance percent of run-to-run noise).
+
+Deterministic simulated-time rows (fig5a_latency and friends) must match
+the baseline exactly: virtual time does not tick while an observer is
+absent, so any drift there is a real behaviour change, not noise.
+
+Exit codes: 0 ok, 1 regression found, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+# Units measured in wall-clock time, and the direction that is "better".
+WALL_CLOCK_UNITS = {
+    "states_per_sec": "higher",
+    "host_usec_per_roundtrip": "lower",
+    "msgs_per_sec": "higher",
+    "mb_per_sec": "higher",
+}
+# Units in simulated virtual time: deterministic, compared exactly.
+VIRTUAL_TIME_UNITS = {"usec", "cycles"}
+
+
+def rows_by_key(doc):
+    out = {}
+    for row in doc.get("rows", []):
+        out[(row["section"], row["name"], row["config"])] = row
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="recorded baseline JSON")
+    ap.add_argument("current", nargs="+",
+                    help="fresh BENCH_runtime.json output(s); with several "
+                         "runs the best value per row is compared, which "
+                         "filters cold-start noise")
+    ap.add_argument("--max-regress", type=float, default=2.0,
+                    help="max allowed regression, percent (default 2)")
+    ap.add_argument("--tolerance", type=float, default=8.0,
+                    help="run-to-run noise allowance on wall-clock rows, "
+                         "percent (default 8)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base = rows_by_key(json.load(f))
+        runs = []
+        for path in args.current:
+            with open(path) as f:
+                runs.append(rows_by_key(json.load(f)))
+    except (OSError, ValueError, KeyError) as e:
+        print(f"check_obs_overhead: bad input: {e}", file=sys.stderr)
+        return 2
+
+    # Merge the runs, keeping the best wall-clock value per row (exact-match
+    # fields must agree across runs anyway, so any run's copy serves).
+    cur = {}
+    for run in runs:
+        for key, row in run.items():
+            prev = cur.get(key)
+            if prev is None:
+                cur[key] = dict(row)
+                continue
+            direction = WALL_CLOCK_UNITS.get(row["unit"])
+            if direction == "higher" and row["value"] > prev["value"]:
+                prev["value"] = row["value"]
+            elif direction == "lower" and row["value"] < prev["value"]:
+                prev["value"] = row["value"]
+
+    budget = args.max_regress + args.tolerance
+    failures = []
+    compared = 0
+    for key, brow in sorted(base.items()):
+        crow = cur.get(key)
+        if crow is None:
+            failures.append(f"{'/'.join(key)}: row missing from current run")
+            continue
+        unit = brow["unit"]
+        bval, cval = float(brow["value"]), float(crow["value"])
+        label = "/".join(key)
+        if unit in VIRTUAL_TIME_UNITS:
+            compared += 1
+            if bval != cval:
+                failures.append(
+                    f"{label}: simulated time changed {bval} -> {cval} {unit} "
+                    f"(must be exact)")
+            continue
+        direction = WALL_CLOCK_UNITS.get(unit)
+        if direction is None or bval == 0:
+            continue
+        compared += 1
+        if direction == "higher":
+            regress = (bval - cval) / bval * 100.0
+        else:
+            regress = (cval - bval) / bval * 100.0
+        status = "ok" if regress <= budget else "FAIL"
+        print(f"  {status:4s} {label:50s} {bval:12.2f} -> {cval:12.2f} "
+              f"{unit} ({regress:+.1f}% regress)")
+        if regress > budget:
+            failures.append(
+                f"{label}: {regress:.1f}% regression exceeds "
+                f"{args.max_regress}% budget (+{args.tolerance}% noise)")
+
+    # Determinism cross-check: MC state counts ride along in the rows.
+    for key, brow in sorted(base.items()):
+        crow = cur.get(key)
+        if crow is None:
+            continue
+        for field in ("states_explored", "states_stored", "transitions"):
+            if field in brow and brow.get(field) != crow.get(field):
+                failures.append(
+                    f"{'/'.join(key)}: {field} changed "
+                    f"{brow[field]} -> {crow.get(field)}")
+
+    if compared == 0:
+        print("check_obs_overhead: no comparable rows found", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\ncheck_obs_overhead: {len(failures)} failure(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"check_obs_overhead: {compared} rows within "
+          f"{args.max_regress}% (+{args.tolerance}% noise)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

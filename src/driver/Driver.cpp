@@ -8,9 +8,12 @@
 
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
+#include "obs/Metrics.h"
+#include "obs/Obs.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
 
@@ -28,6 +31,29 @@ bool readFile(const std::string &Path, std::string &Out) {
   return true;
 }
 
+/// Charges wall time to a counter when metrics are on; no clock reads
+/// otherwise.
+class StageTimer {
+public:
+  StageTimer(obs::MetricsRegistry *Reg, const char *Name) : Reg(Reg) {
+    if (Reg) {
+      C = &Reg->counter(Name);
+      Start = std::chrono::steady_clock::now();
+    }
+  }
+  ~StageTimer() {
+    if (Reg)
+      C->add(std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now() - Start)
+                 .count());
+  }
+
+private:
+  obs::MetricsRegistry *Reg;
+  obs::Counter *C = nullptr;
+  std::chrono::steady_clock::time_point Start;
+};
+
 } // namespace
 
 CompileResult esp::compile(SourceManager &SM, DiagnosticEngine &Diags,
@@ -38,6 +64,9 @@ CompileResult esp::compile(SourceManager &SM, DiagnosticEngine &Diags,
     Result.IOError = "no input files";
     return Result;
   }
+  if (obs::enabled())
+    Result.Metrics = std::make_shared<obs::MetricsRegistry>();
+  obs::MetricsRegistry *Reg = Result.Metrics.get();
 
   if (Options.Concatenate || Inputs.size() > 1) {
     // The pgm.SPIN + test.SPIN layout (Figure 4): harness files are part
@@ -58,6 +87,9 @@ CompileResult esp::compile(SourceManager &SM, DiagnosticEngine &Diags,
       Combined += Text;
       Combined += "\n";
     }
+    if (Reg)
+      Reg->counter("driver.source_bytes").add(Combined.size());
+    StageTimer T(Reg, "driver.parse_us");
     Result.Prog = Parser::parse(SM, Diags, Inputs[0].Name, Combined);
   } else {
     const CompileInput &In = Inputs[0];
@@ -71,17 +103,29 @@ CompileResult esp::compile(SourceManager &SM, DiagnosticEngine &Diags,
         return Result;
       }
     }
+    if (Reg)
+      Reg->counter("driver.source_bytes").add(SM.getBuffer(FileId).size());
+    StageTimer T(Reg, "driver.parse_us");
     Parser P(SM, FileId, Diags);
     Result.Prog = P.parseProgram();
     if (Diags.hasErrors())
       Result.Prog = nullptr;
   }
 
-  if (!Result.Prog || !checkProgram(*Result.Prog, Diags))
+  if (!Result.Prog)
     return Result;
+  {
+    StageTimer T(Reg, "driver.sema_us");
+    if (!checkProgram(*Result.Prog, Diags))
+      return Result;
+  }
 
-  Result.Module = lowerProgram(*Result.Prog);
+  {
+    StageTimer T(Reg, "driver.lower_us");
+    Result.Module = lowerProgram(*Result.Prog);
+  }
   if (Options.Optimize) {
+    StageTimer T(Reg, "driver.optimize_us");
     Result.Optimized = lowerProgram(*Result.Prog);
     Result.Opt = optimizeModule(Result.Optimized, Options.Opt);
   }

@@ -35,6 +35,10 @@ namespace esp {
 class SourceManager;
 class DiagnosticEngine;
 
+namespace obs {
+class MetricsRegistry;
+}
+
 /// One compilation input: a file on disk, or an in-memory buffer
 /// registered under a label (builtin firmware, tests, benchmarks).
 struct CompileInput {
@@ -78,6 +82,11 @@ struct CompileResult {
   /// I/O failures do not go through the DiagnosticEngine because they
   /// have no source location.
   std::string IOError;
+  /// Pipeline-stage timings and sizes (driver.parse_us, driver.sema_us,
+  /// driver.lower_us, driver.optimize_us, driver.source_bytes). Only
+  /// populated when obs::enabled(); null otherwise — compilation pays
+  /// nothing for the plumbing when observability is off.
+  std::shared_ptr<obs::MetricsRegistry> Metrics;
   bool Success = false;
 
   explicit operator bool() const { return Success; }

@@ -9,6 +9,7 @@
 #include "mc/ParallelSearch.h"
 #include "mc/SearchCommon.h"
 #include "mc/StateStore.h"
+#include "obs/Json.h"
 #include "support/StringExtras.h"
 
 #include <algorithm>
@@ -102,6 +103,10 @@ private:
 
   McResult dfs() {
     McResult Result;
+    // Live progress publishing is observe-only: relaxed stores of the
+    // same counters the result reports, so --progress cannot perturb the
+    // search.
+    obs::SearchProgress *Prog = Options.Progress;
     const unsigned Stride = std::max(1u, Options.SnapshotStride);
     VisitedSet Visited =
         Options.Mode == SearchMode::BitState
@@ -223,6 +228,13 @@ private:
       MachineAt = Dirty;
       ++Result.Transitions;
       ++Result.StatesExplored;
+      if (Prog) {
+        Prog->Explored.store(Result.StatesExplored,
+                             std::memory_order_relaxed);
+        Prog->Transitions.store(Result.Transitions,
+                                std::memory_order_relaxed);
+        Prog->FrontierDepth.store(Stack.size(), std::memory_order_relaxed);
+      }
       if (checkState(M, Result)) {
         buildTrace(Stack, &Chosen, Result);
         finalize(Result);
@@ -231,6 +243,12 @@ private:
       if (!Visited.insert(makeKey(M)))
         continue;
       ++Result.StatesStored;
+      if (Prog) {
+        Prog->Stored.store(Result.StatesStored, std::memory_order_relaxed);
+        if (Result.StatesStored % 4096 == 0)
+          Prog->VisitedBytes.store(Visited.bytes() + Compressor.tableBytes(),
+                                   std::memory_order_relaxed);
+      }
       if (Stack.size() >= Options.MaxDepth) {
         // Depth-bounded prune: the subtree below this state is not
         // explored, so an error-free search is only PartialOK.
@@ -268,6 +286,7 @@ private:
 
   McResult simulate() {
     McResult Result;
+    obs::SearchProgress *Prog = Options.Progress;
     std::mt19937_64 Rng(Options.Seed);
     for (uint64_t Run = 0; Run != Options.SimulationRuns; ++Run) {
       Machine M(Module, machineOptions());
@@ -279,6 +298,12 @@ private:
       std::vector<Move> TraceMoves;
       for (unsigned Depth = 0; Depth != Options.SimulationDepth; ++Depth) {
         ++Result.StatesExplored;
+        if (Prog) {
+          Prog->Explored.store(Result.StatesExplored,
+                               std::memory_order_relaxed);
+          Prog->Transitions.store(Result.Transitions,
+                                  std::memory_order_relaxed);
+        }
         if (checkState(M, Result)) {
           Result.Trace = Trace;
           Result.TraceMoves = TraceMoves;
@@ -408,4 +433,57 @@ std::string McResult::report() const {
       OS << "  " << Step << "\n";
   }
   return OS.str();
+}
+
+std::string McResult::json() const {
+  using obs::JsonValue;
+  const char *V = "ok";
+  switch (Verdict) {
+  case McVerdict::OK:
+    V = "ok";
+    break;
+  case McVerdict::PartialOK:
+    V = "partial_ok";
+    break;
+  case McVerdict::StateLimit:
+    V = "state_limit";
+    break;
+  case McVerdict::Violation:
+    V = "violation";
+    break;
+  }
+  JsonValue Root = JsonValue::object();
+  Root.set("verdict", JsonValue::str(V));
+  Root.set("states_explored", JsonValue::integer(StatesExplored));
+  Root.set("states_stored", JsonValue::integer(StatesStored));
+  Root.set("transitions", JsonValue::integer(Transitions));
+  Root.set("max_depth_reached", JsonValue::integer(MaxDepthReached));
+  Root.set("depth_truncated", JsonValue::boolean(DepthTruncated));
+  Root.set("state_vector_bytes", JsonValue::integer(StateVectorBytes));
+  Root.set("compressed_state_bytes",
+           JsonValue::integer(CompressedStateBytes));
+  Root.set("memory_bytes", JsonValue::integer(MemoryBytes));
+  Root.set("replayed_moves", JsonValue::integer(ReplayedMoves));
+  Root.set("seconds", JsonValue::number(Seconds));
+  Root.set("jobs", JsonValue::integer(JobsUsed));
+  if (JobsUsed > 1) {
+    JsonValue Explored = JsonValue::array();
+    for (uint64_t N : WorkerExplored)
+      Explored.push(JsonValue::integer(N));
+    Root.set("worker_explored", std::move(Explored));
+    JsonValue Items = JsonValue::array();
+    for (uint64_t N : WorkerItems)
+      Items.push(JsonValue::integer(N));
+    Root.set("worker_items", std::move(Items));
+    Root.set("shared_work_items", JsonValue::integer(SharedWorkItems));
+  }
+  if (foundViolation()) {
+    Root.set("deadlock", JsonValue::boolean(Deadlock));
+    Root.set("leaked_objects", JsonValue::integer(LeakedObjects));
+    if (!Deadlock)
+      Root.set("violation_kind",
+               JsonValue::str(runtimeErrorKindName(Violation.Kind)));
+    Root.set("trace_moves", JsonValue::integer(Trace.size()));
+  }
+  return Root.dump(1) + "\n";
 }

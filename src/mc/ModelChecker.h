@@ -24,6 +24,7 @@
 #ifndef ESP_MC_MODELCHECKER_H
 #define ESP_MC_MODELCHECKER_H
 
+#include "obs/Progress.h"
 #include "runtime/Machine.h"
 
 #include <string>
@@ -93,6 +94,11 @@ struct McOptions {
   /// across worker Machines when Jobs > 1, so implementations must be
   /// thread-safe for const calls (BoundedEnvModel is).
   const EnvModel *Env = nullptr;
+  /// Optional live progress sink (not owned). The engines publish
+  /// explored/stored/transition counts and frontier depth into it while
+  /// searching, so a ticker thread can report states/sec. Observe-only:
+  /// never affects verdicts, counts, or exploration order.
+  obs::SearchProgress *Progress = nullptr;
 };
 
 enum class McVerdict : uint8_t {
@@ -124,6 +130,9 @@ struct McResult {
   unsigned JobsUsed = 1;
   /// States explored per worker (empty for the sequential engine).
   std::vector<uint64_t> WorkerExplored;
+  /// Work items each worker popped from a queue (its own plus steals;
+  /// empty for the sequential engine).
+  std::vector<uint64_t> WorkerItems;
   /// Work items handed off between workers (work-stealing traffic).
   uint64_t SharedWorkItems = 0;
 
@@ -139,6 +148,9 @@ struct McResult {
 
   /// SPIN-like textual report for tools and benches.
   std::string report() const;
+
+  /// Machine-readable result (espmc --stats-json).
+  std::string json() const;
 };
 
 /// Runs the model checker over \p Module (which should be lowered

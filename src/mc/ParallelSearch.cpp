@@ -93,6 +93,11 @@ public:
     return Approx.load(std::memory_order_relaxed) < LowWater;
   }
 
+  /// Racy queue-length snapshot for progress reporting.
+  size_t approxSize() const {
+    return Approx.load(std::memory_order_relaxed);
+  }
+
   /// Total items ever pushed; read after the workers joined.
   uint64_t pushes() const { return Pushes; }
 
@@ -165,6 +170,7 @@ struct WorkerStats {
   uint64_t Stored = 0;
   uint64_t Transitions = 0;
   uint64_t Replayed = 0;
+  uint64_t Items = 0; ///< Work items popped (own pushes + steals).
   size_t MaxDepthReached = 0;
   bool DepthTruncated = false;
 };
@@ -174,6 +180,7 @@ struct WorkerStats {
 struct WorkerCtx {
   Machine M;
   WorkerStats Stats;
+  unsigned Wid = 0;    // Progress-slot index.
   std::mt19937_64 Rng; // Swarm move-order shuffling only.
   std::string Raw;
   std::string Control;
@@ -383,6 +390,17 @@ void ParallelDfs::processItem(WorkerCtx &W, const WorkItem &Item,
     ++W.Stats.Transitions;
     ++W.Stats.Explored;
     GlobalExplored.fetch_add(1, std::memory_order_relaxed);
+    // Publish to this worker's private progress slot (relaxed stores of
+    // counters this thread alone writes — observe-only, tsan-clean).
+    if (obs::SearchProgress *Prog = Options.Progress;
+        Prog && W.Wid < obs::kMaxProgressWorkers) {
+      obs::WorkerProgress &Slot = Prog->PerWorker[W.Wid];
+      Slot.Explored.store(W.Stats.Explored, std::memory_order_relaxed);
+      Slot.Transitions.store(W.Stats.Transitions,
+                             std::memory_order_relaxed);
+      Prog->FrontierDepth.store(Queue.approxSize(),
+                                std::memory_order_relaxed);
+    }
     {
       McResult V;
       if (checkStateViolation(M, Options, V)) {
@@ -394,6 +412,16 @@ void ParallelDfs::processItem(WorkerCtx &W, const WorkItem &Item,
     if (!Visited.insert(Key))
       continue;
     ++W.Stats.Stored;
+    if (obs::SearchProgress *Prog = Options.Progress;
+        Prog && W.Wid < obs::kMaxProgressWorkers) {
+      Prog->PerWorker[W.Wid].Stored.store(W.Stats.Stored,
+                                          std::memory_order_relaxed);
+      // bytes() locks shards and (exact mode) walks keys, so sample it
+      // sparsely.
+      if (W.Stats.Stored % 32768 == 0)
+        Prog->VisitedBytes.store(Visited.bytes() + Compressor.tableBytes(),
+                                 std::memory_order_relaxed);
+    }
     if (UnionTable)
       UnionTable->insert(Key);
     if (BaseDepth + Stack.size() >= Options.MaxDepth) {
@@ -439,8 +467,14 @@ void ParallelDfs::processItem(WorkerCtx &W, const WorkItem &Item,
 
 void ParallelDfs::workerMain(unsigned Wid, ConcurrentVisitedSet &Visited) {
   WorkerCtx W(Module, MO, Options.Env);
+  W.Wid = Wid;
   WorkItem Item;
   while (Queue.pop(Item)) {
+    ++W.Stats.Items;
+    if (obs::SearchProgress *Prog = Options.Progress;
+        Prog && Wid < obs::kMaxProgressWorkers)
+      Prog->PerWorker[Wid].Items.store(W.Stats.Items,
+                                       std::memory_order_relaxed);
     processItem(W, Item, Visited, /*AllowOffload=*/true,
                 /*Shuffle=*/false, /*UnionTable=*/nullptr);
     Queue.taskDone();
@@ -460,6 +494,7 @@ void ParallelDfs::aggregate(McResult &Result,
     Result.MaxDepthReached = std::max(
         Result.MaxDepthReached, static_cast<unsigned>(S.MaxDepthReached));
     Result.WorkerExplored.push_back(S.Explored);
+    Result.WorkerItems.push_back(S.Items);
   }
 }
 
@@ -486,6 +521,14 @@ McResult ParallelDfs::run() {
     Visited.insert(RootKey);
   }
   ++Result.StatesStored;
+  if (obs::SearchProgress *Prog = Options.Progress) {
+    // Root-state counts live in the scalar fields; workers add deltas in
+    // their private slots, so totals never double-count.
+    Prog->Workers.store(std::min<unsigned>(Jobs, obs::kMaxProgressWorkers),
+                        std::memory_order_relaxed);
+    Prog->Explored.store(Result.StatesExplored, std::memory_order_relaxed);
+    Prog->Stored.store(Result.StatesStored, std::memory_order_relaxed);
+  }
 
   WorkItem RootItem;
   RootItem.Snap = M.snapshot();
@@ -544,6 +587,11 @@ McResult ParallelDfs::runSwarm() {
     Result.CompressedStateBytes = RootKey.size();
     UnionTable.insert(RootKey);
   }
+  if (obs::SearchProgress *Prog = Options.Progress) {
+    Prog->Workers.store(std::min<unsigned>(Jobs, obs::kMaxProgressWorkers),
+                        std::memory_order_relaxed);
+    Prog->Explored.store(Result.StatesExplored, std::memory_order_relaxed);
+  }
   Machine::Snapshot RootSnap = M.snapshot();
 
   Done.assign(Jobs, WorkerStats());
@@ -559,6 +607,8 @@ McResult ParallelDfs::runSwarm() {
                    : mix64(Options.Seed ^ (0x9e3779b97f4a7c15ULL * Wid));
       ConcurrentVisitedSet Own = ConcurrentVisitedSet::bitState(Bits, BitSeed);
       WorkerCtx W(Module, MO, Options.Env);
+      W.Wid = Wid;
+      W.Stats.Items = 1; // Each swarm worker runs exactly the root item.
       W.Rng.seed(mix64(Options.Seed + Wid));
       // Insert the root into the private table so the collision
       // behavior matches a standalone search with this seed.
@@ -605,6 +655,10 @@ McResult runParallelSimulation(const ModuleIR &Module,
   std::atomic<bool> Stop{false};
   std::vector<WorkerStats> Stats(Jobs);
   std::atomic<size_t> RootVectorBytes{0};
+  obs::SearchProgress *Prog = Options.Progress;
+  if (Prog)
+    Prog->Workers.store(std::min<unsigned>(Jobs, obs::kMaxProgressWorkers),
+                        std::memory_order_relaxed);
 
   std::vector<std::thread> Threads;
   Threads.reserve(Jobs);
@@ -617,6 +671,14 @@ McResult runParallelSimulation(const ModuleIR &Module,
       for (uint64_t Run = Wid; Run < Options.SimulationRuns; Run += Jobs) {
         if (Stop.load(std::memory_order_relaxed))
           return;
+        ++S.Items; // One item per simulation run.
+        if (Prog && Wid < obs::kMaxProgressWorkers) {
+          obs::WorkerProgress &PSlot = Prog->PerWorker[Wid];
+          PSlot.Explored.store(S.Explored, std::memory_order_relaxed);
+          PSlot.Transitions.store(S.Transitions,
+                                  std::memory_order_relaxed);
+          PSlot.Items.store(S.Items, std::memory_order_relaxed);
+        }
         std::mt19937_64 Rng(
             mix64(Options.Seed ^ (0x9e3779b97f4a7c15ULL * (Run + 1))));
         Machine M(Module, MO);
@@ -667,6 +729,7 @@ McResult runParallelSimulation(const ModuleIR &Module,
     Result.MaxDepthReached = std::max(
         Result.MaxDepthReached, static_cast<unsigned>(S.MaxDepthReached));
     Result.WorkerExplored.push_back(S.Explored);
+    Result.WorkerItems.push_back(S.Items);
   }
   Result.StateVectorBytes = RootVectorBytes.load(std::memory_order_relaxed);
   if (Slot.found())

@@ -1,0 +1,167 @@
+//===--- Metrics.cpp - Sharded counters, gauges, and histograms -------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+using namespace esp;
+using namespace esp::obs;
+
+unsigned esp::obs::metricShard() {
+  static std::atomic<unsigned> Next{0};
+  thread_local unsigned Shard =
+      Next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return Shard;
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+void Histogram::record(uint64_t Sample, unsigned Shard) {
+  unsigned Bucket = Sample == 0 ? 0 : 64 - std::countl_zero(Sample);
+  if (Bucket >= kBuckets)
+    Bucket = kBuckets - 1;
+  Cell &C = Cells[Shard % kMetricShards];
+  C.B[Bucket].fetch_add(1, std::memory_order_relaxed);
+  C.Sum.fetch_add(Sample, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::count() const {
+  uint64_t N = 0;
+  for (const Cell &C : Cells)
+    for (const auto &B : C.B)
+      N += B.load(std::memory_order_relaxed);
+  return N;
+}
+
+uint64_t Histogram::sum() const {
+  uint64_t S = 0;
+  for (const Cell &C : Cells)
+    S += C.Sum.load(std::memory_order_relaxed);
+  return S;
+}
+
+std::array<uint64_t, Histogram::kBuckets> Histogram::buckets() const {
+  std::array<uint64_t, kBuckets> Out{};
+  for (const Cell &C : Cells)
+    for (unsigned I = 0; I != kBuckets; ++I)
+      Out[I] += C.B[I].load(std::memory_order_relaxed);
+  return Out;
+}
+
+uint64_t Histogram::quantileBound(double Q) const {
+  std::array<uint64_t, kBuckets> B = buckets();
+  uint64_t Total = 0;
+  for (uint64_t N : B)
+    Total += N;
+  if (Total == 0)
+    return 0;
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Total));
+  uint64_t Seen = 0;
+  for (unsigned I = 0; I != kBuckets; ++I) {
+    Seen += B[I];
+    if (Seen > Rank)
+      return I == 0 ? 0 : (uint64_t{1} << I) - 1;
+  }
+  return UINT64_MAX;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+template <typename Deque>
+auto &findOrCreate(Deque &D, std::string_view Name, std::mutex &M) {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &E : D)
+    if (E.Name == Name)
+      return E.Metric;
+  D.emplace_back();
+  D.back().Name = std::string(Name);
+  return D.back().Metric;
+}
+
+} // namespace
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  return findOrCreate(Counters, Name, M);
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  return findOrCreate(Gauges, Name, M);
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name) {
+  return findOrCreate(Histograms, Name, M);
+}
+
+JsonValue MetricsRegistry::json() const {
+  std::lock_guard<std::mutex> Lock(M);
+  JsonValue Root = JsonValue::object();
+  JsonValue C = JsonValue::object();
+  for (const auto &E : Counters)
+    C.set(E.Name, JsonValue::integer(static_cast<int64_t>(E.Metric.value())));
+  Root.set("counters", std::move(C));
+  JsonValue G = JsonValue::object();
+  for (const auto &E : Gauges) {
+    JsonValue V = JsonValue::object();
+    V.set("value", JsonValue::integer(E.Metric.value()));
+    V.set("max", JsonValue::integer(E.Metric.max()));
+    G.set(E.Name, std::move(V));
+  }
+  Root.set("gauges", std::move(G));
+  JsonValue H = JsonValue::object();
+  for (const auto &E : Histograms) {
+    JsonValue V = JsonValue::object();
+    V.set("count",
+          JsonValue::integer(static_cast<int64_t>(E.Metric.count())));
+    V.set("sum", JsonValue::integer(static_cast<int64_t>(E.Metric.sum())));
+    V.set("p50", JsonValue::integer(
+                     static_cast<int64_t>(E.Metric.quantileBound(0.50))));
+    V.set("p99", JsonValue::integer(
+                     static_cast<int64_t>(E.Metric.quantileBound(0.99))));
+    H.set(E.Name, std::move(V));
+  }
+  Root.set("histograms", std::move(H));
+  return Root;
+}
+
+std::string MetricsRegistry::report() const {
+  struct Line {
+    std::string Name;
+    std::string Text;
+  };
+  std::vector<Line> Lines;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    for (const auto &E : Counters)
+      Lines.push_back({E.Name, std::to_string(E.Metric.value())});
+    for (const auto &E : Gauges)
+      Lines.push_back({E.Name, std::to_string(E.Metric.value()) + " (max " +
+                                   std::to_string(E.Metric.max()) + ")"});
+    for (const auto &E : Histograms)
+      Lines.push_back(
+          {E.Name, "count " + std::to_string(E.Metric.count()) + ", sum " +
+                       std::to_string(E.Metric.sum()) + ", p50<=" +
+                       std::to_string(E.Metric.quantileBound(0.50)) +
+                       ", p99<=" +
+                       std::to_string(E.Metric.quantileBound(0.99))});
+  }
+  std::sort(Lines.begin(), Lines.end(),
+            [](const Line &A, const Line &B) { return A.Name < B.Name; });
+  std::ostringstream OS;
+  for (const Line &L : Lines)
+    OS << "  " << L.Name << " = " << L.Text << "\n";
+  return OS.str();
+}

@@ -1,0 +1,143 @@
+//===--- Metrics.h - Sharded counters, gauges, and histograms ---*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named metrics shared by the runtime, the model checker,
+/// and the simulator. Counters and histograms keep one cache-line-padded
+/// shard per thread slot, so `--jobs N` search workers increment without
+/// ever touching the same line; reads aggregate the shards. Totals are
+/// exact once the writers have joined (relaxed atomics: every increment
+/// lands, only the read-while-writing snapshot is approximate), and the
+/// layout is clean under -fsanitize=thread.
+///
+/// Handles returned by the registry are stable for its lifetime;
+/// registration takes a mutex, the increment paths are lock-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_OBS_METRICS_H
+#define ESP_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esp {
+namespace obs {
+
+class JsonValue;
+
+/// Number of independent shards per counter/histogram. Threads map onto
+/// shards round-robin; two threads share a shard only beyond this many
+/// concurrent writers (still correct, just contended).
+inline constexpr unsigned kMetricShards = 16;
+
+/// The calling thread's shard slot, assigned on first use.
+unsigned metricShard();
+
+/// Monotone counter.
+class Counter {
+public:
+  void add(uint64_t Delta = 1) { add(Delta, metricShard()); }
+  void add(uint64_t Delta, unsigned Shard) {
+    Cells[Shard % kMetricShards].V.fetch_add(Delta,
+                                             std::memory_order_relaxed);
+  }
+  uint64_t value() const {
+    uint64_t Sum = 0;
+    for (const Cell &C : Cells)
+      Sum += C.V.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> V{0};
+  };
+  std::array<Cell, kMetricShards> Cells;
+};
+
+/// Last-writer-wins instantaneous value (plus a max watermark).
+class Gauge {
+public:
+  void set(int64_t Value) {
+    V.store(Value, std::memory_order_relaxed);
+    int64_t Seen = Max.load(std::memory_order_relaxed);
+    while (Value > Seen &&
+           !Max.compare_exchange_weak(Seen, Value,
+                                      std::memory_order_relaxed))
+      ;
+  }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+  int64_t max() const { return Max.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+  std::atomic<int64_t> Max{0};
+};
+
+/// Power-of-two-bucket histogram: bucket B counts samples in
+/// [2^(B-1), 2^B) with bucket 0 holding zeros. Enough resolution for
+/// latency/size distributions without per-sample allocation.
+class Histogram {
+public:
+  static constexpr unsigned kBuckets = 64;
+
+  void record(uint64_t Sample) { record(Sample, metricShard()); }
+  void record(uint64_t Sample, unsigned Shard);
+
+  uint64_t count() const;
+  uint64_t sum() const;
+  /// Aggregated per-bucket counts.
+  std::array<uint64_t, kBuckets> buckets() const;
+  /// Upper bound of the bucket containing the \p Q quantile (0..1).
+  uint64_t quantileBound(double Q) const;
+
+private:
+  struct alignas(64) Cell {
+    std::array<std::atomic<uint64_t>, kBuckets> B{};
+    std::atomic<uint64_t> Sum{0};
+  };
+  std::array<Cell, kMetricShards> Cells;
+};
+
+/// Named metrics, grouped by kind. Lookup-or-create is mutex-guarded;
+/// returned references remain valid for the registry's lifetime (deque
+/// storage never moves elements).
+class MetricsRegistry {
+public:
+  Counter &counter(std::string_view Name);
+  Gauge &gauge(std::string_view Name);
+  Histogram &histogram(std::string_view Name);
+
+  /// Snapshot of every metric as JSON:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  JsonValue json() const;
+
+  /// Human-readable listing, one metric per line, sorted by name.
+  std::string report() const;
+
+private:
+  template <typename T> struct Entry {
+    std::string Name;
+    T Metric;
+  };
+
+  mutable std::mutex M;
+  std::deque<Entry<Counter>> Counters;
+  std::deque<Entry<Gauge>> Gauges;
+  std::deque<Entry<Histogram>> Histograms;
+};
+
+} // namespace obs
+} // namespace esp
+
+#endif // ESP_OBS_METRICS_H

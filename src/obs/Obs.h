@@ -1,0 +1,42 @@
+//===--- Obs.h - Global observability kill-switch ---------------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one global switch for the observability layer (src/obs). Tools
+/// flip it on when a tracing/profiling/metrics flag is passed; every
+/// optional collection site (driver stage timers, bench observers)
+/// checks it first, so a default run pays a single relaxed atomic load
+/// at most — and usually nothing, because the observer pointers those
+/// sites guard on are null anyway.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_OBS_OBS_H
+#define ESP_OBS_OBS_H
+
+#include <atomic>
+
+namespace esp {
+namespace obs {
+
+namespace detail {
+inline std::atomic<bool> Enabled{false};
+} // namespace detail
+
+/// True when an observability consumer (trace, profile, metrics,
+/// progress) is active in this process.
+inline bool enabled() {
+  return detail::Enabled.load(std::memory_order_relaxed);
+}
+
+inline void setEnabled(bool On) {
+  detail::Enabled.store(On, std::memory_order_relaxed);
+}
+
+} // namespace obs
+} // namespace esp
+
+#endif // ESP_OBS_OBS_H

@@ -1,0 +1,174 @@
+//===--- Profile.cpp - IR-level execution profiler --------------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Profile.h"
+
+#include "frontend/AST.h"
+#include "ir/IR.h"
+#include "support/SourceManager.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace esp;
+using namespace esp::obs;
+
+namespace {
+
+constexpr uint64_t kNotBlocked = UINT64_MAX;
+
+const char *instKindName(InstKind K) {
+  switch (K) {
+  case InstKind::DeclInit:
+    return "declinit";
+  case InstKind::Store:
+    return "store";
+  case InstKind::Branch:
+    return "branch";
+  case InstKind::Jump:
+    return "jump";
+  case InstKind::Block:
+    return "block";
+  case InstKind::Link:
+    return "link";
+  case InstKind::Unlink:
+    return "unlink";
+  case InstKind::Assert:
+    return "assert";
+  case InstKind::Halt:
+    return "halt";
+  }
+  return "?";
+}
+
+} // namespace
+
+IrProfiler::IrProfiler(const ModuleIR &Module) : Module(Module) {
+  StepCounts.resize(Module.Procs.size());
+  for (size_t I = 0; I != Module.Procs.size(); ++I)
+    StepCounts[I].assign(Module.Procs[I].Insts.size(), 0);
+  BlockedSince.assign(Module.Procs.size(), kNotBlocked);
+  AltChoices.assign(Module.Procs.size(), 0);
+  if (Module.Prog) {
+    for (const auto &Chan : Module.Prog->Channels) {
+      if (Chan->Id >= ChanNames.size()) {
+        ChanNames.resize(Chan->Id + 1, "chan?");
+        ChanBlocked.resize(Chan->Id + 1);
+      }
+      ChanNames[Chan->Id] = Chan->Name;
+    }
+  }
+}
+
+void IrProfiler::onInstr(const Machine &M, unsigned Proc, unsigned PC) {
+  (void)M;
+  if (Proc < StepCounts.size() && PC < StepCounts[Proc].size())
+    ++StepCounts[Proc][PC];
+}
+
+void IrProfiler::onBlock(const Machine &M, unsigned Proc,
+                         uint32_t ChannelId) {
+  (void)ChannelId;
+  if (Proc < BlockedSince.size())
+    BlockedSince[Proc] = M.stats().Instructions;
+}
+
+void IrProfiler::onUnblock(const Machine &M, unsigned Proc,
+                           uint32_t ChannelId) {
+  if (Proc >= BlockedSince.size() || BlockedSince[Proc] == kNotBlocked)
+    return;
+  uint64_t Waited = M.stats().Instructions - BlockedSince[Proc];
+  BlockedSince[Proc] = kNotBlocked;
+  if (ChannelId >= ChanBlocked.size())
+    ChanBlocked.resize(ChannelId + 1);
+  ChanBlocked[ChannelId].Blocked += Waited;
+  ++ChanBlocked[ChannelId].Commits;
+}
+
+void IrProfiler::onAltChoice(const Machine &M, unsigned Proc,
+                             unsigned CaseIndex) {
+  (void)M;
+  (void)CaseIndex;
+  if (Proc < AltChoices.size())
+    ++AltChoices[Proc];
+}
+
+uint64_t IrProfiler::totalSteps() const {
+  uint64_t Total = 0;
+  for (const auto &Counts : StepCounts)
+    for (uint64_t N : Counts)
+      Total += N;
+  return Total;
+}
+
+std::string IrProfiler::report(const SourceManager *SM, unsigned TopN,
+                               bool Compact) const {
+  struct Hot {
+    unsigned Proc;
+    unsigned PC;
+    uint64_t Count;
+  };
+  std::vector<Hot> Hots;
+  for (unsigned P = 0; P != StepCounts.size(); ++P)
+    for (unsigned PC = 0; PC != StepCounts[P].size(); ++PC)
+      if (StepCounts[P][PC])
+        Hots.push_back({P, PC, StepCounts[P][PC]});
+  std::stable_sort(Hots.begin(), Hots.end(),
+                   [](const Hot &A, const Hot &B) { return A.Count > B.Count; });
+  uint64_t Total = totalSteps();
+
+  std::ostringstream OS;
+  OS << "IR profile: " << Total << " instruction steps\n";
+  OS << "hotspots (top " << std::min<size_t>(TopN, Hots.size()) << "):\n";
+  char Buf[160];
+  for (size_t I = 0; I != Hots.size() && I != TopN; ++I) {
+    const Hot &H = Hots[I];
+    const Inst &Ins = Module.Procs[H.Proc].Insts[H.PC];
+    double Pct =
+        Total ? 100.0 * static_cast<double>(H.Count) / Total : 0.0;
+    std::snprintf(Buf, sizeof(Buf), "  %10llu  %5.1f%%  %-12s pc %-4u %s",
+                  static_cast<unsigned long long>(H.Count), Pct,
+                  Module.Procs[H.Proc].Proc->Name.c_str(), H.PC,
+                  instKindName(Ins.Kind));
+    OS << Buf;
+    if (SM) {
+      DecodedLoc Loc = SM->decode(Ins.Loc);
+      if (Loc.Line)
+        OS << "  (line " << Loc.Line << ")";
+    }
+    OS << "\n";
+  }
+  if (Compact)
+    return OS.str();
+
+  bool AnyChan = false;
+  for (const ChanStat &S : ChanBlocked)
+    AnyChan |= S.Commits != 0;
+  if (AnyChan) {
+    OS << "blocked time per channel (instruction-count time):\n";
+    for (size_t C = 0; C != ChanBlocked.size(); ++C) {
+      const ChanStat &S = ChanBlocked[C];
+      if (!S.Commits)
+        continue;
+      std::snprintf(Buf, sizeof(Buf), "  %-12s %8llu commits %10llu waited\n",
+                    C < ChanNames.size() ? ChanNames[C].c_str() : "chan?",
+                    static_cast<unsigned long long>(S.Commits),
+                    static_cast<unsigned long long>(S.Blocked));
+      OS << Buf;
+    }
+  }
+  bool AnyAlt = false;
+  for (uint64_t N : AltChoices)
+    AnyAlt |= N != 0;
+  if (AnyAlt) {
+    OS << "alt commits per process:\n";
+    for (size_t P = 0; P != AltChoices.size(); ++P)
+      if (AltChoices[P])
+        OS << "  " << Module.Procs[P].Proc->Name << "  " << AltChoices[P]
+           << "\n";
+  }
+  return OS.str();
+}

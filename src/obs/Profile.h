@@ -1,0 +1,83 @@
+//===--- Profile.h - IR-level execution profiler ----------------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IrProfiler counts executed steps per IR instruction (CompiledProgram
+/// keeps a 1:1 PC mapping onto ProcIR::Insts, so counts attribute
+/// directly to source constructs) and accumulates blocked time per
+/// channel in instruction-count virtual time: a process is charged from
+/// the moment it parks at a Block instruction until the commit, and the
+/// wait is attributed to the channel that actually unblocked it (for an
+/// alt, the winning alternative). The text report lists the hottest
+/// instructions and the most-contended channels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_OBS_PROFILE_H
+#define ESP_OBS_PROFILE_H
+
+#include "runtime/Machine.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esp {
+
+class SourceManager;
+
+namespace obs {
+
+class IrProfiler : public MachineObserver {
+public:
+  explicit IrProfiler(const ModuleIR &Module);
+
+  void onInstr(const Machine &M, unsigned Proc, unsigned PC) override;
+  void onBlock(const Machine &M, unsigned Proc, uint32_t ChannelId) override;
+  void onUnblock(const Machine &M, unsigned Proc,
+                 uint32_t ChannelId) override;
+  void onAltChoice(const Machine &M, unsigned Proc,
+                   unsigned CaseIndex) override;
+
+  /// Total instruction steps observed (equals ExecStats::Instructions
+  /// accumulated while this observer was installed).
+  uint64_t totalSteps() const;
+  /// Per-instruction step counts for one process.
+  const std::vector<uint64_t> &counts(unsigned Proc) const {
+    return StepCounts[Proc];
+  }
+  uint64_t blockedTime(uint32_t ChannelId) const {
+    return ChannelId < ChanBlocked.size() ? ChanBlocked[ChannelId].Blocked
+                                          : 0;
+  }
+  uint64_t altChoices(unsigned Proc) const {
+    return Proc < AltChoices.size() ? AltChoices[Proc] : 0;
+  }
+
+  /// Hotspot report: the top \p TopN instructions by step count, plus
+  /// (unless \p Compact) per-channel blocked time and alt statistics.
+  /// \p SM, when given, resolves source lines.
+  std::string report(const SourceManager *SM = nullptr, unsigned TopN = 10,
+                     bool Compact = false) const;
+
+private:
+  struct ChanStat {
+    uint64_t Blocked = 0; ///< Instruction-count time waited.
+    uint64_t Commits = 0; ///< Unblocks charged to this channel.
+  };
+
+  const ModuleIR &Module;
+  std::vector<std::vector<uint64_t>> StepCounts; // [proc][pc]
+  std::vector<uint64_t> BlockedSince;            // [proc]; sentinel = idle
+  std::vector<ChanStat> ChanBlocked;             // [channel id]
+  std::vector<uint64_t> AltChoices;              // [proc]
+  std::vector<std::string> ChanNames;
+};
+
+} // namespace obs
+} // namespace esp
+
+#endif // ESP_OBS_PROFILE_H

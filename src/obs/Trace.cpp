@@ -1,0 +1,183 @@
+//===--- Trace.cpp - Chrome trace_event JSON writer -------------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <fstream>
+
+using namespace esp;
+using namespace esp::obs;
+
+void TraceWriter::nameProcess(uint32_t Pid, std::string Name) {
+  Event E;
+  E.Phase = 'M';
+  E.Pid = Pid;
+  E.Name = "process_name";
+  E.Series = std::move(Name);
+  Meta.push_back(std::move(E));
+}
+
+void TraceWriter::nameThread(uint32_t Pid, uint32_t Tid, std::string Name) {
+  Event E;
+  E.Phase = 'M';
+  E.Pid = Pid;
+  E.Tid = Tid;
+  E.Name = "thread_name";
+  E.Series = std::move(Name);
+  Meta.push_back(std::move(E));
+}
+
+void TraceWriter::sliceBegin(uint32_t Pid, uint32_t Tid, std::string Name,
+                             uint64_t Ts) {
+  Open[{Pid, Tid}].push_back({std::move(Name), Ts});
+}
+
+void TraceWriter::sliceEnd(uint32_t Pid, uint32_t Tid, uint64_t Ts) {
+  auto It = Open.find({Pid, Tid});
+  if (It == Open.end() || It->second.empty())
+    return;
+  OpenSlice S = std::move(It->second.back());
+  It->second.pop_back();
+  uint64_t End = std::max(Ts, S.Ts);
+  Event B;
+  B.Phase = 'B';
+  B.Ts = S.Ts;
+  B.Pid = Pid;
+  B.Tid = Tid;
+  B.Name = S.Name;
+  Events.push_back(std::move(B));
+  Event E;
+  E.Phase = 'E';
+  E.Ts = End;
+  E.Pid = Pid;
+  E.Tid = Tid;
+  Events.push_back(std::move(E));
+}
+
+void TraceWriter::counter(uint32_t Pid, std::string Name, std::string Series,
+                          int64_t Value, uint64_t Ts) {
+  Event E;
+  E.Phase = 'C';
+  E.Ts = Ts;
+  E.Pid = Pid;
+  E.Name = std::move(Name);
+  E.Series = std::move(Series);
+  E.Value = Value;
+  Events.push_back(std::move(E));
+}
+
+void TraceWriter::flowStart(uint32_t Pid, uint32_t Tid, std::string Name,
+                            uint64_t Id, uint64_t Ts) {
+  Event E;
+  E.Phase = 's';
+  E.Ts = Ts;
+  E.Pid = Pid;
+  E.Tid = Tid;
+  E.Name = std::move(Name);
+  E.Id = Id;
+  Events.push_back(std::move(E));
+}
+
+void TraceWriter::flowEnd(uint32_t Pid, uint32_t Tid, std::string Name,
+                          uint64_t Id, uint64_t Ts) {
+  Event E;
+  E.Phase = 'f';
+  E.Ts = Ts;
+  E.Pid = Pid;
+  E.Tid = Tid;
+  E.Name = std::move(Name);
+  E.Id = Id;
+  Events.push_back(std::move(E));
+}
+
+void TraceWriter::instant(uint32_t Pid, uint32_t Tid, std::string Name,
+                          uint64_t Ts) {
+  Event E;
+  E.Phase = 'i';
+  E.Ts = Ts;
+  E.Pid = Pid;
+  E.Tid = Tid;
+  E.Name = std::move(Name);
+  Events.push_back(std::move(E));
+}
+
+void TraceWriter::finish(uint64_t Ts) {
+  for (auto &[Track, Slices] : Open)
+    while (!Slices.empty())
+      sliceEnd(Track.first, Track.second, Ts);
+}
+
+std::string TraceWriter::json() const {
+  // Stable sort keeps push order among equal timestamps, so an E pushed
+  // before the next B at the same instant stays before it, and nested
+  // slices keep their B-inside-B order.
+  std::vector<const Event *> Sorted;
+  Sorted.reserve(Events.size());
+  for (const Event &E : Events)
+    Sorted.push_back(&E);
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const Event *A, const Event *B) { return A->Ts < B->Ts; });
+
+  JsonValue Root = JsonValue::object();
+  JsonValue Arr = JsonValue::array();
+  auto emit = [&](const Event &E) {
+    JsonValue O = JsonValue::object();
+    O.set("ph", JsonValue::str(std::string(1, E.Phase)));
+    O.set("pid", JsonValue::integer(E.Pid));
+    O.set("tid", JsonValue::integer(E.Tid));
+    if (E.Phase != 'M')
+      O.set("ts", JsonValue::integer(static_cast<int64_t>(E.Ts)));
+    if (E.Phase != 'E')
+      O.set("name", JsonValue::str(E.Name));
+    switch (E.Phase) {
+    case 'M': {
+      JsonValue Args = JsonValue::object();
+      Args.set("name", JsonValue::str(E.Series));
+      O.set("args", std::move(Args));
+      break;
+    }
+    case 'C': {
+      JsonValue Args = JsonValue::object();
+      Args.set(E.Series, JsonValue::integer(E.Value));
+      O.set("args", std::move(Args));
+      break;
+    }
+    case 's':
+      O.set("cat", JsonValue::str("channel"));
+      O.set("id", JsonValue::integer(static_cast<int64_t>(E.Id)));
+      break;
+    case 'f':
+      O.set("cat", JsonValue::str("channel"));
+      O.set("id", JsonValue::integer(static_cast<int64_t>(E.Id)));
+      O.set("bp", JsonValue::str("e"));
+      break;
+    case 'i':
+      O.set("s", JsonValue::str("t"));
+      break;
+    default:
+      break;
+    }
+    Arr.push(std::move(O));
+  };
+  for (const Event &E : Meta)
+    emit(E);
+  for (const Event *E : Sorted)
+    emit(*E);
+  Root.set("traceEvents", std::move(Arr));
+  Root.set("displayTimeUnit", JsonValue::str("ms"));
+  return Root.dump(1);
+}
+
+bool TraceWriter::writeFile(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << json() << "\n";
+  return static_cast<bool>(Out);
+}

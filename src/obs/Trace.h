@@ -1,0 +1,101 @@
+//===--- Trace.h - Chrome trace_event JSON writer ---------------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TraceWriter buffers Chrome trace_event records and serializes them as
+/// a JSON object loadable in chrome://tracing and Perfetto. Tracks are
+/// (pid, tid) pairs — one per ESP process, named via metadata events.
+///
+/// Slices are recorded as begin/end pairs: sliceEnd() emits *both* the
+/// B and the E event (the B with the timestamp saved at sliceBegin), so
+/// pairs are matched by construction, and finish() closes anything still
+/// open. json() sorts events by timestamp (stably, so a B never follows
+/// its own E), which keeps `ts` monotonically non-decreasing per track —
+/// the structural properties tests/test_obs.cpp pins.
+///
+/// Timestamps are microseconds of whatever clock the producer uses: the
+/// runtime tracer uses virtual time (1 instruction = 1 us, perfectly
+/// deterministic), the simulator uses EventQueue time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_OBS_TRACE_H
+#define ESP_OBS_TRACE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace esp {
+namespace obs {
+
+class TraceWriter {
+public:
+  /// Metadata: names the process-level track group.
+  void nameProcess(uint32_t Pid, std::string Name);
+  /// Metadata: names one track.
+  void nameThread(uint32_t Pid, uint32_t Tid, std::string Name);
+
+  /// Opens a slice on (Pid, Tid). Slices on one track may nest.
+  void sliceBegin(uint32_t Pid, uint32_t Tid, std::string Name, uint64_t Ts);
+  /// Closes the innermost open slice; emits its B and E events. End
+  /// timestamps are clamped to the begin (time never runs backwards
+  /// within a slice). No-op if nothing is open.
+  void sliceEnd(uint32_t Pid, uint32_t Tid, uint64_t Ts);
+
+  /// Counter track sample ("C" event), one series per call.
+  void counter(uint32_t Pid, std::string Name, std::string Series,
+               int64_t Value, uint64_t Ts);
+
+  /// Flow arrow between tracks ("s"/"f" events with a shared id);
+  /// renders channel sends as arrows from writer to reader.
+  void flowStart(uint32_t Pid, uint32_t Tid, std::string Name, uint64_t Id,
+                 uint64_t Ts);
+  void flowEnd(uint32_t Pid, uint32_t Tid, std::string Name, uint64_t Id,
+               uint64_t Ts);
+
+  /// Instantaneous marker ("i" event, thread scope).
+  void instant(uint32_t Pid, uint32_t Tid, std::string Name, uint64_t Ts);
+
+  /// Closes every open slice at \p Ts. Idempotent.
+  void finish(uint64_t Ts);
+
+  /// The complete trace JSON ({"traceEvents": [...]}). Does not finish()
+  /// implicitly — callers close slices first.
+  std::string json() const;
+
+  /// Writes json() to \p Path; false on I/O failure.
+  bool writeFile(const std::string &Path) const;
+
+  size_t eventCount() const { return Events.size(); }
+
+private:
+  struct Event {
+    char Phase;
+    uint64_t Ts = 0;
+    uint32_t Pid = 0;
+    uint32_t Tid = 0;
+    std::string Name;
+    uint64_t Id = 0;      // Flow events.
+    int64_t Value = 0;    // Counter events.
+    std::string Series;   // Counter series / metadata name payload.
+  };
+
+  struct OpenSlice {
+    std::string Name;
+    uint64_t Ts;
+  };
+
+  std::vector<Event> Meta;   // Metadata events, emitted first.
+  std::vector<Event> Events; // Everything else, sorted on output.
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<OpenSlice>> Open;
+};
+
+} // namespace obs
+} // namespace esp
+
+#endif // ESP_OBS_TRACE_H

@@ -1,0 +1,114 @@
+//===--- TracingObserver.cpp - MachineObserver -> TraceWriter ---------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TracingObserver.h"
+
+#include "frontend/AST.h"
+#include "ir/IR.h"
+
+using namespace esp;
+using namespace esp::obs;
+
+TracingObserver::TracingObserver(TraceWriter &Writer, Clock C, uint32_t Pid)
+    : W(Writer), C(std::move(C)), Pid(Pid) {}
+
+uint64_t TracingObserver::now(const Machine &M) const {
+  return C ? C() : M.stats().Instructions;
+}
+
+const std::string &TracingObserver::channelName(uint32_t ChannelId) const {
+  static const std::string Unknown = "chan?";
+  return ChannelId < ChanNames.size() ? ChanNames[ChannelId] : Unknown;
+}
+
+void TracingObserver::attach(const Machine &M,
+                             const std::string &ProcessName) {
+  const ModuleIR &Module = M.module();
+  W.nameProcess(Pid, ProcessName);
+  W.nameThread(Pid, 0, "environment");
+  ProcNames.clear();
+  for (size_t I = 0; I != Module.Procs.size(); ++I) {
+    ProcNames.push_back(Module.Procs[I].Proc->Name);
+    W.nameThread(Pid, static_cast<uint32_t>(I) + 1, ProcNames.back());
+  }
+  ChanNames.clear();
+  if (Module.Prog) {
+    for (const auto &Chan : Module.Prog->Channels) {
+      if (Chan->Id >= ChanNames.size())
+        ChanNames.resize(Chan->Id + 1, "chan?");
+      ChanNames[Chan->Id] = Chan->Name;
+    }
+  }
+}
+
+void TracingObserver::heapCounters(const Machine &M, uint64_t Ts) {
+  uint64_t Live = M.heap().getLiveCount();
+  if (Live == LastHeapLive)
+    return;
+  LastHeapLive = Live;
+  W.counter(Pid, "heap", "live", static_cast<int64_t>(Live), Ts);
+  W.counter(Pid, "heap", "allocated",
+            static_cast<int64_t>(M.heap().getTotalAllocations()), Ts);
+}
+
+void TracingObserver::onInstr(const Machine &M, unsigned Proc, unsigned PC) {
+  (void)PC;
+  if (CurProc == static_cast<int>(Proc))
+    return;
+  uint64_t Ts = now(M);
+  if (CurProc >= 0)
+    W.sliceEnd(Pid, tidOf(CurProc), Ts);
+  static const std::string Anon = "proc?";
+  const std::string &Name =
+      Proc < ProcNames.size() ? ProcNames[Proc] : Anon;
+  W.sliceBegin(Pid, tidOf(static_cast<int>(Proc)), Name, Ts);
+  CurProc = static_cast<int>(Proc);
+}
+
+void TracingObserver::onBlock(const Machine &M, unsigned Proc,
+                              uint32_t ChannelId) {
+  (void)ChannelId;
+  uint64_t Ts = now(M);
+  if (CurProc == static_cast<int>(Proc)) {
+    W.sliceEnd(Pid, tidOf(CurProc), Ts);
+    CurProc = -1;
+  }
+  heapCounters(M, Ts);
+}
+
+void TracingObserver::onSend(const Machine &M, uint32_t ChannelId,
+                             int Writer) {
+  ++FlowSeq;
+  W.flowStart(Pid, tidOf(Writer), channelName(ChannelId), FlowSeq, now(M));
+}
+
+void TracingObserver::onRecv(const Machine &M, uint32_t ChannelId,
+                             int Reader) {
+  // onRecv always follows its onSend immediately (the transfer commit
+  // emits the pair), so the open FlowSeq is the matching id.
+  W.flowEnd(Pid, tidOf(Reader), channelName(ChannelId), FlowSeq, now(M));
+}
+
+void TracingObserver::onAlloc(const Machine &M, const Value &Obj) {
+  (void)Obj;
+  heapCounters(M, now(M));
+}
+
+void TracingObserver::onStep(const Machine &M, StepResult Result) {
+  if (Result == StepResult::Halted || Result == StepResult::Errored)
+    finishTrace(M);
+}
+
+void TracingObserver::finishTrace(const Machine &M) {
+  uint64_t Ts = now(M);
+  if (CurProc >= 0) {
+    W.sliceEnd(Pid, tidOf(CurProc), Ts);
+    CurProc = -1;
+  }
+  LastHeapLive = UINT64_MAX;
+  heapCounters(M, Ts);
+  W.finish(Ts);
+}

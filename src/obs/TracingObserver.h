@@ -1,0 +1,123 @@
+//===--- TracingObserver.h - MachineObserver -> TraceWriter -----*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TracingObserver turns MachineObserver callbacks into a Chrome trace:
+/// one track per ESP process carrying a slice per scheduling quantum,
+/// flow arrows from sender to receiver for every rendezvous (external
+/// sides land on the "environment" track), and a heap counter track
+/// sampled at allocations and communication points.
+///
+/// The clock is pluggable: by default virtual time (1 executed ESP
+/// instruction = 1 us — fully deterministic, so traces diff cleanly),
+/// or a caller-supplied closure (the VMMC simulator passes EventQueue
+/// time so slices line up with simulated DMA/wire events).
+///
+/// FanoutObserver composes observers (trace + profile in one run).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_OBS_TRACINGOBSERVER_H
+#define ESP_OBS_TRACINGOBSERVER_H
+
+#include "obs/Trace.h"
+#include "runtime/Machine.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace esp {
+namespace obs {
+
+class TracingObserver : public MachineObserver {
+public:
+  /// Microsecond clock; null means virtual time (instruction count).
+  using Clock = std::function<uint64_t()>;
+
+  explicit TracingObserver(TraceWriter &Writer, Clock C = nullptr,
+                           uint32_t Pid = 1);
+
+  /// Emits track metadata for \p M's processes. Call once, before
+  /// stepping (does not install the observer — callers own that).
+  void attach(const Machine &M, const std::string &ProcessName = "esp");
+
+  /// Closes the open slice and emits final heap counters.
+  void finishTrace(const Machine &M);
+
+  void onStep(const Machine &M, StepResult Result) override;
+  void onSend(const Machine &M, uint32_t ChannelId, int Writer) override;
+  void onRecv(const Machine &M, uint32_t ChannelId, int Reader) override;
+  void onAlloc(const Machine &M, const Value &Obj) override;
+  void onInstr(const Machine &M, unsigned Proc, unsigned PC) override;
+  void onBlock(const Machine &M, unsigned Proc, uint32_t ChannelId) override;
+
+private:
+  uint64_t now(const Machine &M) const;
+  uint32_t tidOf(int Proc) const {
+    return Proc < 0 ? 0 : static_cast<uint32_t>(Proc) + 1;
+  }
+  const std::string &channelName(uint32_t ChannelId) const;
+  void heapCounters(const Machine &M, uint64_t Ts);
+
+  TraceWriter &W;
+  Clock C;
+  uint32_t Pid;
+  int CurProc = -1;
+  uint64_t FlowSeq = 0;
+  uint64_t LastHeapLive = UINT64_MAX;
+  std::vector<std::string> ProcNames;
+  std::vector<std::string> ChanNames;
+};
+
+/// Broadcasts every callback to a fixed list of observers.
+class FanoutObserver : public MachineObserver {
+public:
+  void add(MachineObserver *O) { Obs.push_back(O); }
+
+  void onStep(const Machine &M, StepResult Result) override {
+    for (MachineObserver *O : Obs)
+      O->onStep(M, Result);
+  }
+  void onSend(const Machine &M, uint32_t ChannelId, int Writer) override {
+    for (MachineObserver *O : Obs)
+      O->onSend(M, ChannelId, Writer);
+  }
+  void onRecv(const Machine &M, uint32_t ChannelId, int Reader) override {
+    for (MachineObserver *O : Obs)
+      O->onRecv(M, ChannelId, Reader);
+  }
+  void onAlloc(const Machine &M, const Value &Obj) override {
+    for (MachineObserver *O : Obs)
+      O->onAlloc(M, Obj);
+  }
+  void onInstr(const Machine &M, unsigned Proc, unsigned PC) override {
+    for (MachineObserver *O : Obs)
+      O->onInstr(M, Proc, PC);
+  }
+  void onBlock(const Machine &M, unsigned Proc, uint32_t ChannelId) override {
+    for (MachineObserver *O : Obs)
+      O->onBlock(M, Proc, ChannelId);
+  }
+  void onUnblock(const Machine &M, unsigned Proc,
+                 uint32_t ChannelId) override {
+    for (MachineObserver *O : Obs)
+      O->onUnblock(M, Proc, ChannelId);
+  }
+  void onAltChoice(const Machine &M, unsigned Proc,
+                   unsigned CaseIndex) override {
+    for (MachineObserver *O : Obs)
+      O->onAltChoice(M, Proc, CaseIndex);
+  }
+
+private:
+  std::vector<MachineObserver *> Obs;
+};
+
+} // namespace obs
+} // namespace esp
+
+#endif // ESP_OBS_TRACINGOBSERVER_H

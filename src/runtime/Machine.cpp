@@ -611,6 +611,8 @@ void Machine::runToBlock(unsigned ProcIndex) {
     }
     const CInst &I = CProc.Insts[P.PC];
     ++Stats.Instructions;
+    if (Obs)
+      Obs->onInstr(*this, ProcIndex, P.PC);
     switch (I.Kind) {
     case InstKind::DeclInit: {
       Value V;
@@ -676,6 +678,9 @@ void Machine::runToBlock(unsigned ProcIndex) {
     case InstKind::Block:
       P.St = ProcState::Status::Blocked;
       prepareBlock(ProcIndex);
+      if (Obs && !Error)
+        Obs->onBlock(*this, ProcIndex,
+                     I.Cases.empty() ? 0 : I.Cases[0].ChanId);
       return;
     case InstKind::Halt:
       P.St = ProcState::Status::Done;
@@ -743,6 +748,14 @@ void Machine::releaseLosingCases(unsigned ProcIndex, unsigned WinnerCase) {
   clearWaitBits(ProcIndex);
   ProcState &P = Procs[ProcIndex];
   const CInst &I = CP.Procs[ProcIndex].Insts[P.PC];
+  // Called exactly once per commit, at every Blocked -> Ready site, with
+  // P.PC still at the Block instruction: the one place the winning case
+  // is known.
+  if (Obs) {
+    Obs->onUnblock(*this, ProcIndex, I.Cases[WinnerCase].ChanId);
+    if (I.Cases.size() > 1)
+      Obs->onAltChoice(*this, ProcIndex, WinnerCase);
+  }
   for (size_t C = 0, N = I.Cases.size(); C != N; ++C) {
     if (C == WinnerCase || !P.PreparedValid[C])
       continue;

@@ -179,6 +179,37 @@ public:
     (void)M;
     (void)Obj;
   }
+  /// One IR instruction is about to execute (the interpreter's inner
+  /// loop; PC indexes both CompiledProc::Insts and ProcIR::Insts).
+  virtual void onInstr(const Machine &M, unsigned Proc, unsigned PC) {
+    (void)M;
+    (void)Proc;
+    (void)PC;
+  }
+  /// The process reached a Block instruction and parked. \p ChannelId is
+  /// the first alternative's channel; alts report the channel they
+  /// actually committed on in onUnblock.
+  virtual void onBlock(const Machine &M, unsigned Proc, uint32_t ChannelId) {
+    (void)M;
+    (void)Proc;
+    (void)ChannelId;
+  }
+  /// A blocked process committed a case and became Ready; \p ChannelId
+  /// is the winning case's channel.
+  virtual void onUnblock(const Machine &M, unsigned Proc,
+                         uint32_t ChannelId) {
+    (void)M;
+    (void)Proc;
+    (void)ChannelId;
+  }
+  /// A Block instruction with more than one alternative committed case
+  /// \p CaseIndex (fires together with onUnblock).
+  virtual void onAltChoice(const Machine &M, unsigned Proc,
+                           unsigned CaseIndex) {
+    (void)M;
+    (void)Proc;
+    (void)CaseIndex;
+  }
 };
 
 /// One enabled transition of the machine, for the model checker.
@@ -345,6 +376,7 @@ public:
   const RuntimeError &error() const { return Error; }
   const ExecStats &stats() const { return Stats; }
   Heap &heap() { return H; }
+  const Heap &heap() const { return H; }
   const ModuleIR &module() const { return Module; }
   const CompiledProgram &compiled() const { return CP; }
   unsigned numProcesses() const { return Procs.size(); }

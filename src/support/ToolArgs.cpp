@@ -26,6 +26,14 @@ bool ToolArgs::next() {
 }
 
 bool ToolArgs::option(const char *Name, std::string &Value) {
+  // --name=value spelling: everything after the first '=' is the value
+  // (which may itself contain '=' or be empty).
+  size_t NameLen = std::string::traits_type::length(Name);
+  if (Current.size() > NameLen && Current[NameLen] == '=' &&
+      Current.compare(0, NameLen, Name) == 0) {
+    Value = Current.substr(NameLen + 1);
+    return true;
+  }
   if (Current != Name)
     return false;
   if (Index + 1 >= Argc) {
@@ -83,7 +91,14 @@ void ToolArgs::unknownOrBuiltin() {
     Code = 0;
     return;
   }
-  usageError("unknown option '" + Current + "'");
+  if (Current == "--quiet" || Current == "-q") {
+    Quiet = true;
+    return;
+  }
+  // For --name=value, report only the flag: the value can be long
+  // (a path) and is not what the user needs to fix.
+  std::string Flag = Current.substr(0, Current.find('='));
+  usageError("unknown option '" + Flag + "'");
 }
 
 void ToolArgs::usageError(const std::string &Message) {

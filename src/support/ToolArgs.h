@@ -51,7 +51,8 @@ public:
   bool flag(const char *Name) const { return Current == Name; }
 
   /// True when the current argument is \p Name; consumes the following
-  /// argument into \p Value. A missing value is a usage error.
+  /// argument into \p Value. The --name=value spelling is accepted too.
+  /// A missing value is a usage error.
   bool option(const char *Name, std::string &Value);
 
   /// Like option, but the value must parse as an integer (decimal),
@@ -64,9 +65,15 @@ public:
     return Current.empty() || Current[0] != '-';
   }
 
-  /// Fallback for unmatched arguments: handles --help/-h and --version
-  /// (exit 0), reports anything else as an unknown option (exit 2).
+  /// Fallback for unmatched arguments: handles --help/-h, --version
+  /// (exit 0), and --quiet/-q (recorded, see quiet()); reports anything
+  /// else as an unknown option (exit 2), naming just the flag for the
+  /// --name=value spelling.
   void unknownOrBuiltin();
+
+  /// True once --quiet/-q was seen (any tool may honor it; the scanner
+  /// accepts it everywhere so scripts can pass it uniformly).
+  bool quiet() const { return Quiet; }
 
   /// Reports "tool: message" followed by the usage text; exit code 2.
   void usageError(const std::string &Message);
@@ -90,6 +97,7 @@ private:
   std::string Usage;
   std::string Current;
   bool Exit = false;
+  bool Quiet = false;
   int Code = 0;
 };
 

@@ -15,6 +15,10 @@
 #include "codegen/PromelaGen.h"
 #include "driver/Driver.h"
 #include "frontend/PrettyPrinter.h"
+#include "obs/Metrics.h"
+#include "obs/Obs.h"
+#include "obs/Profile.h"
+#include "obs/TracingObserver.h"
 #include "runtime/Machine.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
@@ -51,6 +55,15 @@ const char kUsage[] =
     "                    (debug firmware; freed objects are quarantined)\n"
     "  --max-steps N     step limit for --run (default 1000000)\n"
     "  --instances N     program copies in the SPIN spec (default 1)\n"
+    "  --trace <file>    run the program (implies --run) and write a\n"
+    "                    Chrome trace_event JSON file: one track per\n"
+    "                    process, flow arrows per rendezvous, heap\n"
+    "                    counters; load it in chrome://tracing or Perfetto\n"
+    "  --profile         run the program (implies --run) and print an\n"
+    "                    IR-level hotspot profile (per-instruction step\n"
+    "                    counts, blocked time per channel) to stderr\n"
+    "  --quiet, -q       suppress the --run summary line and shorten the\n"
+    "                    --profile report\n"
     "  -O0               disable the section 6.1 optimizations\n"
     "  -o <file>         write output to <file> instead of stdout\n";
 
@@ -65,6 +78,8 @@ int main(int Argc, char **Argv) {
   bool AnalyzeAsWarnings = false;
   std::string InputPath;
   std::string OutputPath;
+  std::string TracePath;
+  bool Profile = false;
   uint64_t Instances = 1;
   uint64_t MaxSteps = 1'000'000;
 
@@ -94,7 +109,12 @@ int main(int Argc, char **Argv) {
       AnalyzeAsWarnings = true;
     else if (Args.option("-o", OutputPath))
       ;
-    else if (Args.optionUInt("--instances", Instances, 1))
+    else if (Args.option("--trace", TracePath))
+      Act = Action::Run;
+    else if (Args.flag("--profile")) {
+      Profile = true;
+      Act = Action::Run;
+    } else if (Args.optionUInt("--instances", Instances, 1))
       ;
     else if (Args.optionUInt("--max-steps", MaxSteps))
       ;
@@ -112,6 +132,10 @@ int main(int Argc, char **Argv) {
     Args.printUsage();
     return 2;
   }
+
+  const bool Observing = !TracePath.empty() || Profile;
+  if (Observing)
+    obs::setEnabled(true);
 
   SourceManager SM;
   DiagnosticEngine Diags(SM);
@@ -174,6 +198,22 @@ int main(int Argc, char **Argv) {
         }
       }
       Machine M(Module, MachineOptions());
+
+      // Observability: --trace and/or --profile hook the MachineObserver;
+      // a plain --run installs nothing and pays nothing.
+      obs::TraceWriter Trace;
+      obs::TracingObserver Tracer(Trace);
+      obs::IrProfiler Profiler(Module);
+      obs::FanoutObserver Fanout;
+      if (!TracePath.empty()) {
+        Tracer.attach(M, InputPath);
+        Fanout.add(&Tracer);
+      }
+      if (Profile)
+        Fanout.add(&Profiler);
+      if (Observing)
+        M.setObserver(&Fanout);
+
       M.start();
       StepResult Res = M.run(MaxSteps);
       if (M.error()) {
@@ -182,14 +222,33 @@ int main(int Argc, char **Argv) {
                      runtimeErrorKindName(M.error().Kind));
         return 1;
       }
-      std::fprintf(stderr,
-                   "espc: %s after %llu rendezvous, %llu instructions, "
-                   "%llu context switches (%u live objects)\n",
-                   Res == StepResult::Halted ? "halted" : "quiescent",
-                   (unsigned long long)M.stats().Rendezvous,
-                   (unsigned long long)M.stats().Instructions,
-                   (unsigned long long)M.stats().ContextSwitches,
-                   M.heap().getLiveCount());
+      if (!TracePath.empty()) {
+        Tracer.finishTrace(M);
+        if (!Trace.writeFile(TracePath)) {
+          std::fprintf(stderr, "espc: cannot write '%s'\n",
+                       TracePath.c_str());
+          return 1;
+        }
+        if (!Args.quiet())
+          std::fprintf(stderr, "espc: wrote %zu trace events to %s\n",
+                       Trace.eventCount(), TracePath.c_str());
+      }
+      if (Profile) {
+        std::string Report = Profiler.report(&SM, Args.quiet() ? 5 : 10,
+                                             /*Compact=*/Args.quiet());
+        std::fputs(Report.c_str(), stderr);
+        if (R.Metrics && !Args.quiet())
+          std::fputs(R.Metrics->report().c_str(), stderr);
+      }
+      if (!Args.quiet())
+        std::fprintf(stderr,
+                     "espc: %s after %llu rendezvous, %llu instructions, "
+                     "%llu context switches (%u live objects)\n",
+                     Res == StepResult::Halted ? "halted" : "quiescent",
+                     (unsigned long long)M.stats().Rendezvous,
+                     (unsigned long long)M.stats().Instructions,
+                     (unsigned long long)M.stats().ContextSwitches,
+                     M.heap().getLiveCount());
       return 0;
     }
     case Action::EmitSpin:

@@ -43,7 +43,7 @@ const char kUsage[] =
     "  --no-reachability   skip the reachability checks\n"
     "  --max-configs N     deadlock search state cap (default 1048576)\n"
     "  --builtin-vmmc      also analyze the built-in VMMC firmware\n"
-    "  -q                  print errors only (warnings still counted)\n";
+    "  -q, --quiet         print errors only (warnings still counted)\n";
 
 struct LintStats {
   unsigned Errors = 0;
@@ -141,6 +141,7 @@ int main(int Argc, char **Argv) {
     else
       Args.unknownOrBuiltin();
   }
+  Quiet |= Args.quiet(); // The scanner-level --quiet spelling.
   if (Args.shouldExit())
     return Args.exitCode();
   if (Inputs.empty() && !BuiltinVmmc) {

@@ -13,13 +13,21 @@
 
 #include "driver/Driver.h"
 #include "mc/SafetyHarness.h"
+#include "obs/Progress.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
 #include "support/ToolArgs.h"
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace esp;
@@ -65,7 +73,85 @@ const char kUsage[] =
     "                      union of the workers'\n"
     "  --no-deadlock       do not report deadlocks\n"
     "  --no-leaks          do not report unreachable live objects\n"
-    "  --int-domain a,b,c  environment int values (default 0,1)\n";
+    "  --int-domain a,b,c  environment int values (default 0,1)\n"
+    "  --progress[=secs]   print live search telemetry to stderr every\n"
+    "                      secs seconds (default 2; 0 = one final line\n"
+    "                      only): states/sec, stored states, frontier\n"
+    "                      depth, visited-set memory, per-worker items\n"
+    "  --stats-json <file> write the result as JSON to <file>\n"
+    "  --quiet, -q         suppress the textual report (verdict still\n"
+    "                      drives the exit status)\n";
+
+/// The --progress ticker: samples a SearchProgress on its own thread
+/// while the search runs. Observe-only by construction — it holds no
+/// lock the engines ever touch.
+class ProgressTicker {
+public:
+  ProgressTicker(const obs::SearchProgress &P, unsigned PeriodSecs)
+      : P(P), Period(PeriodSecs) {
+    if (Period > 0)
+      T = std::thread([this] { run(); });
+  }
+
+  /// Joins the ticker and prints the final snapshot line.
+  void finish() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Done = true;
+    }
+    CV.notify_all();
+    if (T.joinable())
+      T.join();
+    line(/*Final=*/true);
+  }
+
+private:
+  void run() {
+    std::unique_lock<std::mutex> Lock(M);
+    while (!CV.wait_for(Lock, std::chrono::seconds(Period),
+                        [this] { return Done; }))
+      line(/*Final=*/false);
+  }
+
+  void line(bool Final) {
+    using namespace std::chrono;
+    uint64_t Explored = P.totalExplored();
+    uint64_t Stored = P.totalStored();
+    double Secs =
+        duration<double>(steady_clock::now() - Start).count();
+    double Rate = Secs > 0 ? Explored / Secs : 0;
+    std::string Line = "espmc: " + std::to_string(Explored) +
+                       " states explored (" +
+                       std::to_string(static_cast<uint64_t>(Rate)) +
+                       "/sec), " + std::to_string(Stored) + " stored";
+    uint64_t Depth = P.FrontierDepth.load(std::memory_order_relaxed);
+    Line += Final ? ", frontier drained" : ", frontier depth " +
+                                               std::to_string(Depth);
+    if (uint64_t Bytes = P.VisitedBytes.load(std::memory_order_relaxed))
+      Line += ", visited ~" +
+              std::to_string(Bytes / (1024 * 1024)) + " MB";
+    unsigned Workers = P.Workers.load(std::memory_order_relaxed);
+    if (Workers > 1) {
+      Line += ", items/worker";
+      for (unsigned I = 0; I != Workers && I != obs::kMaxProgressWorkers;
+           ++I)
+        Line += (I ? " " : " [") +
+                std::to_string(P.PerWorker[I].Items.load(
+                    std::memory_order_relaxed));
+      Line += "]";
+    }
+    std::fprintf(stderr, "%s\n", Line.c_str());
+  }
+
+  const obs::SearchProgress &P;
+  unsigned Period;
+  std::chrono::steady_clock::time_point Start =
+      std::chrono::steady_clock::now();
+  std::mutex M;
+  std::condition_variable CV;
+  bool Done = false;
+  std::thread T;
+};
 
 } // namespace
 
@@ -74,6 +160,9 @@ int main(int Argc, char **Argv) {
   std::string ProcessName;
   std::vector<std::string> Inputs;
   std::vector<int64_t> IntDomain = {0, 1};
+  bool Progress = false;
+  uint64_t ProgressSecs = 2;
+  std::string StatsJsonPath;
 
   ToolArgs Args(Argc, Argv, "espmc", kUsage);
   while (Args.next()) {
@@ -126,6 +215,16 @@ int main(int Argc, char **Argv) {
       Mc.Jobs = static_cast<unsigned>(Num);
     } else if (Args.flag("--swarm")) {
       Mc.Swarm = true;
+    } else if (Args.flag("--progress")) {
+      // Bare flag: default period. Checked before the option so the
+      // input filename is never consumed as a value; --progress=N goes
+      // through the =value spelling below.
+      Progress = true;
+    } else if (Args.optionUInt("--progress", Num)) {
+      Progress = true;
+      ProgressSecs = Num;
+    } else if (Args.option("--stats-json", StatsJsonPath)) {
+      ;
     } else if (Args.flag("--no-deadlock")) {
       Mc.CheckDeadlock = false;
     } else if (Args.flag("--no-leaks")) {
@@ -172,6 +271,17 @@ int main(int Argc, char **Argv) {
   if (!R.Success)
     return 1;
 
+  // --progress attaches a telemetry sink the engines publish into and a
+  // ticker thread that samples it; the search itself is unaffected.
+  auto Telemetry = Progress ? std::make_unique<obs::SearchProgress>()
+                            : nullptr;
+  if (Telemetry)
+    Mc.Progress = Telemetry.get();
+  std::unique_ptr<ProgressTicker> Ticker;
+  if (Telemetry)
+    Ticker = std::make_unique<ProgressTicker>(
+        *Telemetry, static_cast<unsigned>(ProgressSecs));
+
   McResult Result;
   if (!ProcessName.empty()) {
     SafetyOptions SafOptions;
@@ -182,6 +292,18 @@ int main(int Argc, char **Argv) {
     // Whole-system verification: the harness must close the program.
     Result = checkModel(R.Module, Mc);
   }
-  std::printf("%s", Result.report().c_str());
+  if (Ticker)
+    Ticker->finish();
+  if (!StatsJsonPath.empty()) {
+    std::ofstream Out(StatsJsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "espmc: cannot write '%s'\n",
+                   StatsJsonPath.c_str());
+      return 1;
+    }
+    Out << Result.json();
+  }
+  if (!Args.quiet())
+    std::printf("%s", Result.report().c_str());
   return Result.foundViolation() ? 3 : 0;
 }

@@ -7,6 +7,7 @@
 #include "vmmc/EspFirmware.h"
 
 #include "driver/Driver.h"
+#include "obs/TracingObserver.h"
 #include "support/StringExtras.h"
 #include "vmmc/EspFirmwareSource.h"
 
@@ -312,7 +313,33 @@ EspFirmware::EspFirmware(OptOptions Optimize) {
   }
 }
 
-EspFirmware::~EspFirmware() = default;
+EspFirmware::~EspFirmware() {
+  // Workload drivers own firmware through the simulator and drop both
+  // together, so close the trace here; explicit finishTracing() earlier
+  // is fine too (TraceWriter::finish is idempotent).
+  finishTracing();
+}
+
+void EspFirmware::enableTracing(obs::TraceWriter &W) {
+  Tracer = std::make_unique<obs::TracingObserver>(W, [this]() -> uint64_t {
+    // EventQueue time is nanoseconds; trace timestamps are microseconds.
+    // CurEnv is only valid inside runQuantum — outside (finishTracing),
+    // reuse the last stamp so the trace never jumps backwards to zero.
+    if (CurEnv)
+      TraceNow = CurEnv->localNow() / 1000;
+    return TraceNow;
+  });
+  Tracer->attach(*M, name());
+  M->setObserver(Tracer.get());
+}
+
+void EspFirmware::finishTracing() {
+  if (!Tracer)
+    return;
+  Tracer->finishTrace(*M);
+  M->setObserver(nullptr);
+  Tracer.reset();
+}
 
 void EspFirmware::runQuantum(NicEnv &Env) {
   CurEnv = &Env;

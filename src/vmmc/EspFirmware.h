@@ -25,6 +25,12 @@
 #include <memory>
 
 namespace esp {
+
+namespace obs {
+class TraceWriter;
+class TracingObserver;
+}
+
 namespace vmmc {
 
 /// The ESP-based VMMC firmware.
@@ -47,6 +53,14 @@ public:
   Machine &machine() { return *M; }
   const ExecStats &lastStats() const { return Last; }
 
+  /// Streams a Chrome trace of this firmware's execution into \p W,
+  /// timestamped with simulated NIC time (EventQueue nanoseconds scaled
+  /// to trace microseconds), so firmware slices line up with DMA and
+  /// wire events. Call after construction, before the first quantum.
+  void enableTracing(obs::TraceWriter &W);
+  /// Closes the trace's open slices; call once the simulation is done.
+  void finishTracing();
+
 private:
   SourceManager SM;
   std::unique_ptr<DiagnosticEngine> Diags;
@@ -54,6 +68,9 @@ private:
   ModuleIR Module;
   std::unique_ptr<Machine> M;
   ExecStats Last;
+  std::unique_ptr<obs::TracingObserver> Tracer;
+  /// Last simulated-time trace stamp; reused when no quantum is live.
+  uint64_t TraceNow = 0;
 };
 
 } // namespace vmmc
