@@ -32,4 +32,19 @@ echo "== esplint: example corpus =="
 echo "== esplint: VMMC firmware =="
 "$ESPLINT" --builtin-vmmc
 
+ESPMC="$BUILD_DIR/src/tools/espmc"
+
+echo "== espmc: --por golden harnesses =="
+# Clean per-process harnesses must stay clean under reduction, both
+# sequentially and with the parallel engine (exit 0 = verified OK; the
+# differential count assertions live in tests/test_mc_por.cpp).
+for process in translator pageTable; do
+  "$ESPMC" --process "$process" --por \
+    "$REPO_ROOT/examples/esp/pagetable.esp" > /dev/null
+  "$ESPMC" --process "$process" --por --jobs 4 \
+    "$REPO_ROOT/examples/esp/pagetable.esp" > /dev/null
+done
+"$ESPMC" --process producer --por \
+  "$REPO_ROOT/examples/esp/quickstart.esp" > /dev/null
+
 echo "check.sh: all green"

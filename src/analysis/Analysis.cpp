@@ -22,6 +22,8 @@ const char *esp::analysisKindName(AnalysisKind Kind) {
     return "link-balance";
   case AnalysisKind::Reachability:
     return "reachability";
+  case AnalysisKind::Interference:
+    return "interference";
   }
   return "unknown";
 }
@@ -61,6 +63,8 @@ AnalysisResult esp::analyzeProgram(const Program &Prog, const ModuleIR &Module,
     detail::checkLinkBalance(Prog, Module, Result);
   if (Options.CheckReachability)
     detail::checkReachability(Prog, Module, Result);
+  if (Options.CheckInterference || Options.ReportInterference)
+    detail::checkInterference(Prog, Module, Options, Result);
 
   // Deterministic presentation order: by location, then severity (errors
   // first), keeping the per-detector insertion order as the tiebreak.

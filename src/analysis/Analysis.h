@@ -43,10 +43,15 @@ namespace esp {
 class DiagnosticEngine;
 class SourceManager;
 
-enum class AnalysisKind : uint8_t { Deadlock, LinkBalance, Reachability };
+enum class AnalysisKind : uint8_t {
+  Deadlock,
+  LinkBalance,
+  Reachability,
+  Interference,
+};
 
 /// Returns the stable detector name ("deadlock", "link-balance",
-/// "reachability") used in text and JSON output.
+/// "reachability", "interference") used in text and JSON output.
 const char *analysisKindName(AnalysisKind Kind);
 
 enum class AnalysisSeverity : uint8_t { Note, Warning, Error };
@@ -71,6 +76,12 @@ struct AnalysisOptions {
   bool CheckDeadlock = true;
   bool CheckLinkBalance = true;
   bool CheckReachability = true;
+  /// Interference warnings (self-rendezvous channels).
+  bool CheckInterference = true;
+  /// Also emit the note-severity conflict-class report (the
+  /// `esplint --interference` mode: sites, conflict matrix summary,
+  /// % statically-commuting pairs).
+  bool ReportInterference = false;
   /// Cap on product configurations the deadlock search explores; beyond
   /// it the search stops and the result is marked incomplete.
   uint64_t MaxConfigs = 1u << 20;
@@ -119,6 +130,9 @@ void checkDeadlock(const Program &Prog, const ModuleIR &Module,
 void checkLinkBalance(const Program &Prog, const ModuleIR &Module,
                       AnalysisResult &Result);
 void checkReachability(const Program &Prog, const ModuleIR &Module,
+                       AnalysisResult &Result);
+void checkInterference(const Program &Prog, const ModuleIR &Module,
+                       const AnalysisOptions &Options,
                        AnalysisResult &Result);
 
 } // namespace detail

@@ -7,6 +7,7 @@
 #include "mc/ModelChecker.h"
 
 #include "mc/ParallelSearch.h"
+#include "mc/Por.h"
 #include "mc/SearchCommon.h"
 #include "mc/StateStore.h"
 #include "obs/Json.h"
@@ -15,9 +16,11 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <memory>
 #include <random>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 
 using namespace esp;
 
@@ -78,6 +81,16 @@ private:
     Move Taken; ///< Move that produced this frame's state (root: unused).
     std::vector<Move> Moves;
     size_t NextMove = 0;
+    /// Moves[0..AmpleCount) is the ample prefix; equals Moves.size()
+    /// without --por or when no eligible ample subset exists.
+    size_t AmpleCount = 0;
+    /// Cycle proviso (C3): an ample edge closed a cycle back into the
+    /// DFS stack, so the frame expands its full move list after the
+    /// ample prefix.
+    bool Upgraded = false;
+    /// Visited-set key of this frame's state; only populated under
+    /// --por, where it backs the on-stack set for the cycle proviso.
+    std::string StateKey;
   };
 
   /// Sparse snapshot: a full machine state every SnapshotStride levels.
@@ -147,6 +160,35 @@ private:
       R.MemoryBytes = Visited.bytes() + Compressor.tableBytes();
     };
 
+    // --por: ample-set selection from the static independence analysis.
+    // Built once per search; selection mutates only move order, so the
+    // non-POR path stays bit-identical.
+    std::unique_ptr<mc_detail::PorContext> Por;
+    if (Options.Por)
+      Por = std::make_unique<mc_detail::PorContext>(
+          Module, Options.EnvSendBudget != 0);
+    // States currently on the DFS stack (key -> frame index), maintained
+    // only under --por. The cycle proviso (C3) needs to distinguish an
+    // edge that closes a cycle (some state on the cycle must expand its
+    // full move list, or the deferred moves could be ignored forever
+    // around it) from one that merely rejoins an already finished region
+    // (safe: that state discharged its own proviso when it was
+    // expanded). On a back edge we upgrade the *target* frame: every
+    // cycle through the edge passes through the target, so the classic
+    // C3 argument goes through, and upgrades concentrate on the few loop
+    // head states instead of every predecessor that re-enters a loop.
+    std::unordered_map<std::string, size_t> OnStack;
+    auto selectAmple = [&](Machine &M, Frame &F) {
+      F.AmpleCount = F.Moves.size();
+      if (!Por)
+        return;
+      F.AmpleCount = Por->selectAmple(M, F.Moves);
+      if (F.AmpleCount < F.Moves.size())
+        ++Result.PorReducedStates;
+      else
+        ++Result.PorFullStates;
+    };
+
     Machine M(Module, machineOptions());
     M.setEnvModel(Options.Env);
     M.start();
@@ -157,10 +199,13 @@ private:
       finalize(Result);
       return Result;
     }
+    std::string RootKeyCopy;
     {
       const std::string &RootKey = makeKey(M);
       Result.CompressedStateBytes = RootKey.size();
       Visited.insert(RootKey);
+      if (Por)
+        RootKeyCopy = RootKey;
     }
     ++Result.StatesStored;
 
@@ -178,6 +223,11 @@ private:
                     : checkDeadlock(M, Root.Moves, Result)) {
         finalize(Result);
         return Result;
+      }
+      selectAmple(M, Root);
+      if (Por) {
+        Root.StateKey = std::move(RootKeyCopy);
+        OnStack.emplace(Root.StateKey, 0);
       }
       Stack.push_back(std::move(Root));
       // The root checkpoint is taken after enumerateMoves so that every
@@ -208,7 +258,9 @@ private:
 
     while (!Stack.empty()) {
       Frame &Top = Stack.back();
-      if (Top.NextMove >= Top.Moves.size()) {
+      if (Top.NextMove >= (Top.Upgraded ? Top.Moves.size() : Top.AmpleCount)) {
+        if (Por)
+          OnStack.erase(Top.StateKey);
         Stack.pop_back();
         while (!Checkpoints.empty() &&
                Checkpoints.back().Depth >= Stack.size())
@@ -240,8 +292,36 @@ private:
         finalize(Result);
         return Result;
       }
-      if (!Visited.insert(makeKey(M)))
-        continue;
+      std::string ChildKeyCopy;
+      {
+        const std::string &ChildKey = makeKey(M);
+        if (Por)
+          ChildKeyCopy = ChildKey;
+        if (!Visited.insert(ChildKey)) {
+          // Cycle proviso (C3): an edge back onto the DFS stack closes a
+          // cycle along which the deferred moves could be ignored
+          // forever, so some state on the cycle must expand its full
+          // move list. Every such cycle passes through the back edge's
+          // target, so upgrading the target frame discharges C3 for all
+          // cycles through this edge at once. When the source frame is
+          // already fully expanded it lies on the cycle itself and
+          // nothing more is needed. Rejoining a finished region is
+          // harmless: that state discharged its own proviso when it was
+          // expanded.
+          if (Por && !Top.Upgraded && Top.AmpleCount < Top.Moves.size()) {
+            auto It = OnStack.find(ChildKey);
+            if (It != OnStack.end()) {
+              Frame &Target = Stack[It->second];
+              if (!Target.Upgraded &&
+                  Target.AmpleCount < Target.Moves.size()) {
+                Target.Upgraded = true;
+                ++Result.PorProvisoUpgrades;
+              }
+            }
+          }
+          continue;
+        }
+      }
       ++Result.StatesStored;
       if (Prog) {
         Prog->Stored.store(Result.StatesStored, std::memory_order_relaxed);
@@ -266,6 +346,11 @@ private:
         buildTrace(Stack, &Chosen, Result);
         finalize(Result);
         return Result;
+      }
+      selectAmple(M, Next);
+      if (Por) {
+        Next.StateKey = std::move(ChildKeyCopy);
+        OnStack.emplace(Next.StateKey, Stack.size());
       }
       Stack.push_back(std::move(Next));
       MachineAt = Stack.size() - 1;
@@ -411,6 +496,10 @@ std::string McResult::report() const {
   OS << StatesExplored << " states, explored\n";
   OS << StatesStored << " states, stored\n";
   OS << Transitions << " transitions\n";
+  if (PorReducedStates || PorFullStates || PorProvisoUpgrades)
+    OS << "partial-order reduction: " << PorReducedStates
+       << " state(s) expanded with an ample subset, " << PorFullStates
+       << " fully, " << PorProvisoUpgrades << " proviso upgrade(s)\n";
   if (ReplayedMoves)
     OS << ReplayedMoves << " moves replayed (checkpoint restore)\n";
   if (JobsUsed > 1) {
@@ -466,6 +555,12 @@ std::string McResult::json() const {
   Root.set("replayed_moves", JsonValue::integer(ReplayedMoves));
   Root.set("seconds", JsonValue::number(Seconds));
   Root.set("jobs", JsonValue::integer(JobsUsed));
+  if (PorReducedStates || PorFullStates || PorProvisoUpgrades) {
+    Root.set("por_reduced_states", JsonValue::integer(PorReducedStates));
+    Root.set("por_full_states", JsonValue::integer(PorFullStates));
+    Root.set("por_proviso_upgrades",
+             JsonValue::integer(PorProvisoUpgrades));
+  }
   if (JobsUsed > 1) {
     JsonValue Explored = JsonValue::array();
     for (uint64_t N : WorkerExplored)

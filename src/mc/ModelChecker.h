@@ -90,6 +90,23 @@ struct McOptions {
   /// is the union of the workers' (SPIN's swarm). StatesStored then
   /// reports the union estimate from a shared seed-0 bit table.
   bool Swarm = false;
+  /// Ample-set partial-order reduction (`espmc --por`, src/mc/Por.h):
+  /// expand only an ample subset of the enabled moves wherever the
+  /// static independence analysis can discharge the C0-C3 conditions,
+  /// with full expansion as the fallback. Verdicts are preserved;
+  /// explored/stored counts usually shrink, so reduced runs have their
+  /// own goldens. Ignored in Simulation mode and incompatible with
+  /// Swarm (shuffled move order would break the ample prefix).
+  bool Por = false;
+  /// Finite environment workload (`espmc --env-budget N`): the machine
+  /// enumerates at most N environment sends per channel along any path
+  /// (0 = unbounded; per channel, not a global pool, so sends on
+  /// unrelated channels stay independent for --por). Bounds an open
+  /// harness to "verify N requests end to end", which makes the state
+  /// space finite — and largely acyclic,
+  /// which is where --por pays off: the cycle proviso rarely forces full
+  /// expansion, so delivery interleavings collapse to representatives.
+  uint32_t EnvSendBudget = 0;
   /// Environment model for open programs (not owned). Shared read-only
   /// across worker Machines when Jobs > 1, so implementations must be
   /// thread-safe for const calls (BoundedEnvModel is).
@@ -135,6 +152,14 @@ struct McResult {
   std::vector<uint64_t> WorkerItems;
   /// Work items handed off between workers (work-stealing traffic).
   uint64_t SharedWorkItems = 0;
+
+  // Partial-order reduction accounting (all zero unless McOptions::Por).
+  /// States expanded with a proper ample subset of their moves.
+  uint64_t PorReducedStates = 0;
+  /// States expanded fully (no eligible ample subset).
+  uint64_t PorFullStates = 0;
+  /// Reduced frames upgraded to full expansion by the cycle proviso.
+  uint64_t PorProvisoUpgrades = 0;
 
   // Violation details.
   RuntimeError Violation;

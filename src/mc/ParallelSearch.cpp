@@ -6,6 +6,7 @@
 
 #include "mc/ParallelSearch.h"
 
+#include "mc/Por.h"
 #include "mc/SearchCommon.h"
 #include "mc/StateStore.h"
 #include "support/StringExtras.h"
@@ -16,6 +17,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <random>
 #include <thread>
@@ -173,6 +175,10 @@ struct WorkerStats {
   uint64_t Items = 0; ///< Work items popped (own pushes + steals).
   size_t MaxDepthReached = 0;
   bool DepthTruncated = false;
+  // Partial-order reduction accounting (--por).
+  uint64_t PorReduced = 0;
+  uint64_t PorFull = 0;
+  uint64_t PorUpgrades = 0;
 };
 
 /// Everything a worker thread owns: its Machine over the shared
@@ -207,7 +213,14 @@ public:
         UseCollapse(Options.Collapse &&
                     Options.Mode != SearchMode::BitState &&
                     Options.Visited == VisitedKind::Exact),
-        Queue(/*LowWaterMark=*/2 * Jobs) {}
+        Queue(/*LowWaterMark=*/2 * Jobs) {
+    // --por: one shared selector (const and thread-safe after
+    // construction). Swarm shuffles move order per worker, which would
+    // scatter the ample prefix, so it never reduces (espmc rejects the
+    // combination up front).
+    if (Options.Por && !Options.Swarm)
+      Por = std::make_unique<PorContext>(Module, Options.EnvSendBudget != 0);
+  }
 
   McResult run();
   McResult runSwarm();
@@ -252,6 +265,7 @@ private:
 
   WorkQueue Queue;
   ViolationSlot Slot;
+  std::unique_ptr<PorContext> Por;
   ConcurrentStateCompressor Compressor;
   std::vector<WorkerStats> Done;
   std::atomic<uint64_t> GlobalExplored{0};
@@ -266,6 +280,12 @@ struct Frame {
   uint32_t TakenIndex = 0;
   std::vector<Move> Moves;
   size_t NextMove = 0;
+  /// Moves[0..AmpleCount) is the ample prefix; equals Moves.size()
+  /// without --por or when no eligible ample subset exists.
+  size_t AmpleCount = 0;
+  /// Cycle proviso (C3): a successor's visited-set insert failed, so
+  /// the frame expands its full move list after the ample prefix.
+  bool Upgraded = false;
 };
 
 struct Checkpoint {
@@ -315,6 +335,21 @@ void ParallelDfs::processItem(WorkerCtx &W, const WorkItem &Item,
   // Expand the item's root state. Its violation/leak check was done by
   // the worker that discovered (and inserted) it; the enumeration-fault
   // and deadlock checks belong to expansion, so they happen here.
+  // --por: ample-set selection. The ample prefix is a deterministic
+  // function of the state (stable partition over the canonical move
+  // enumeration), so a re-expanded offloaded subtree picks the same
+  // prefix regardless of which worker pops it.
+  auto selectAmple = [&](Frame &F) {
+    F.AmpleCount = F.Moves.size();
+    if (!Por)
+      return;
+    F.AmpleCount = Por->selectAmple(M, F.Moves);
+    if (F.AmpleCount < F.Moves.size())
+      ++W.Stats.PorReduced;
+    else
+      ++W.Stats.PorFull;
+  };
+
   {
     Frame Root;
     Root.Moves = M.enumerateMoves();
@@ -326,6 +361,7 @@ void ParallelDfs::processItem(WorkerCtx &W, const WorkItem &Item,
       reportViolation(V, nullptr, 0);
       return;
     }
+    selectAmple(Root);
     Stack.push_back(std::move(Root));
     Checkpoints.push_back({0, M.snapshot()});
     MachineAt = 0;
@@ -365,7 +401,7 @@ void ParallelDfs::processItem(WorkerCtx &W, const WorkItem &Item,
     if (Stop.load(std::memory_order_relaxed))
       return;
     Frame &Top = Stack.back();
-    if (Top.NextMove >= Top.Moves.size()) {
+    if (Top.NextMove >= (Top.Upgraded ? Top.Moves.size() : Top.AmpleCount)) {
       Stack.pop_back();
       while (!Checkpoints.empty() &&
              Checkpoints.back().Depth >= Stack.size())
@@ -409,8 +445,17 @@ void ParallelDfs::processItem(WorkerCtx &W, const WorkItem &Item,
       }
     }
     std::string_view Key = makeKey(W);
-    if (!Visited.insert(Key))
+    if (!Visited.insert(Key)) {
+      // Cycle proviso (C3): the successor was already inserted —
+      // possibly by another worker, which only makes the upgrade more
+      // conservative — so this frame may no longer defer its non-ample
+      // moves.
+      if (Por && !Top.Upgraded && Top.AmpleCount < Top.Moves.size()) {
+        Top.Upgraded = true;
+        ++W.Stats.PorUpgrades;
+      }
       continue;
+    }
     ++W.Stats.Stored;
     if (obs::SearchProgress *Prog = Options.Progress;
         Prog && W.Wid < obs::kMaxProgressWorkers) {
@@ -456,6 +501,7 @@ void ParallelDfs::processItem(WorkerCtx &W, const WorkItem &Item,
       reportViolation(V, &Chosen, ChosenIndex);
       return;
     }
+    selectAmple(Next);
     Stack.push_back(std::move(Next));
     MachineAt = Stack.size() - 1;
     if (MachineAt % Stride == 0)
@@ -495,6 +541,9 @@ void ParallelDfs::aggregate(McResult &Result,
         Result.MaxDepthReached, static_cast<unsigned>(S.MaxDepthReached));
     Result.WorkerExplored.push_back(S.Explored);
     Result.WorkerItems.push_back(S.Items);
+    Result.PorReducedStates += S.PorReduced;
+    Result.PorFullStates += S.PorFull;
+    Result.PorProvisoUpgrades += S.PorUpgrades;
   }
 }
 

@@ -1,0 +1,174 @@
+//===--- Por.cpp - Ample-set partial-order reduction ---------------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mc/Por.h"
+
+#include <algorithm>
+
+using namespace esp;
+using namespace esp::mc_detail;
+
+namespace {
+
+/// Internal participants of a move as a process bitmask. Environment
+/// endpoints contribute nothing: the environment is stateless, so an
+/// env-side send or receive touches only its internal partner.
+uint64_t participants(const Move &Mv) {
+  uint64_t Mask = 0;
+  if (Mv.Writer >= 0)
+    Mask |= 1ull << static_cast<unsigned>(Mv.Writer);
+  if (Mv.Reader >= 0)
+    Mask |= 1ull << static_cast<unsigned>(Mv.Reader);
+  return Mask;
+}
+
+} // namespace
+
+PorContext::PorContext(const ModuleIR &Module, bool EnvBudgeted)
+    : Info(buildIndependence(Module)), EnvBudgeted(EnvBudgeted) {
+  for (size_t P = 0; P != Info.Procs.size() && P < 64; ++P)
+    if (Info.Procs[P].InClique)
+      CliqueMask |= 1ull << P;
+}
+
+uint64_t PorContext::closure(const Machine &M, const int *Stop,
+                             unsigned Seed) const {
+  const unsigned NumProcs = M.numProcesses();
+  uint64_t Closed = 1ull << Seed;
+  unsigned Work[64];
+  unsigned WorkSize = 0;
+  Work[WorkSize++] = Seed;
+  while (WorkSize) {
+    unsigned Q = Work[--WorkSize];
+    if (Stop[Q] < 0)
+      continue; // Done/Failed: no future endpoints.
+    const IndepStop &S = Info.Procs[Q].Stops[Stop[Q]];
+    const ProcState &PS = M.proc(Q);
+    for (size_t K = 0; K != S.Cases.size(); ++K) {
+      const IndepCase &C = S.Cases[K];
+      if (C.GuardFalse)
+        continue;
+      // Guards are frozen while the process is blocked, so a case that
+      // is dynamically disabled here stays disabled until Q moves.
+      if (K < PS.CaseEnabled.size() && !PS.CaseEnabled[K])
+        continue;
+      for (unsigned R = 0; R != NumProcs; ++R) {
+        if ((Closed >> R) & 1)
+          continue;
+        if (Stop[R] < 0)
+          continue;
+        const IndepStop &RS = Info.Procs[R].Stops[Stop[R]];
+        bool Pull = C.IsIn ? RS.ReachOut[C.Channel] : RS.ReachIn[C.Channel];
+        // Under a finite per-channel environment budget two receives
+        // from the same channel are dependent through the shared
+        // counter (one can consume the last unit and disable the
+        // other), so same-direction reader endpoints get pulled too.
+        if (!Pull && EnvBudgeted && C.IsIn)
+          Pull = RS.ReachIn[C.Channel];
+        if (Pull) {
+          Closed |= 1ull << R;
+          Work[WorkSize++] = R;
+        }
+      }
+    }
+  }
+  return Closed;
+}
+
+bool PorContext::moveHeapUnsafe(const Move &Mv, const int *Stop) const {
+  auto CaseUnsafe = [&](int P, unsigned CaseIndex) {
+    if (P < 0)
+      return false; // Environment side: nothing to free.
+    if (Stop[P] < 0)
+      return true; // Should not happen for an enabled move; be safe.
+    const IndepStop &S = Info.Procs[P].Stops[Stop[P]];
+    if (CaseIndex >= S.Cases.size())
+      return true;
+    const IndepCase &C = S.Cases[CaseIndex];
+    if (C.Channel != Mv.Channel)
+      return true; // Static/dynamic disagreement: be safe.
+    return C.HeapUnsafe;
+  };
+  return CaseUnsafe(Mv.Writer, Mv.WriterCase) ||
+         CaseUnsafe(Mv.Reader, Mv.ReaderCase);
+}
+
+size_t PorContext::selectAmple(const Machine &M,
+                               std::vector<Move> &Moves) const {
+  const size_t NumMoves = Moves.size();
+  if (NumMoves <= 1)
+    return NumMoves; // A singleton expansion is already minimal.
+  const unsigned NumProcs = M.numProcesses();
+  if (NumProcs == 0 || NumProcs > 64 || Info.Procs.size() != NumProcs)
+    return NumMoves;
+
+  // Current stop per process; bail to full expansion when a blocked
+  // process's PC is not a known stop point.
+  int Stop[64];
+  for (unsigned P = 0; P != NumProcs; ++P) {
+    const ProcState &PS = M.proc(P);
+    if (PS.St == ProcState::Status::Blocked) {
+      int S = Info.stopIndex(P, PS.PC);
+      if (S < 0)
+        return NumMoves;
+      Stop[P] = S;
+    } else {
+      Stop[P] = -1;
+    }
+  }
+
+  std::vector<uint64_t> Part(NumMoves);
+  uint64_t Active = 0;
+  for (size_t I = 0; I != NumMoves; ++I) {
+    Part[I] = participants(Moves[I]);
+    if (!Part[I])
+      return NumMoves; // An env-to-env move cannot exist; be safe.
+    Active |= Part[I];
+  }
+
+  // Try every process with an enabled move as the closure seed and keep
+  // the smallest eligible ample set (ties go to the lowest seed index,
+  // which keeps the choice deterministic).
+  size_t BestCount = NumMoves;
+  uint64_t BestSet = 0;
+  for (unsigned Seed = 0; Seed != NumProcs; ++Seed) {
+    if (!((Active >> Seed) & 1))
+      continue;
+    uint64_t Closed = closure(M, Stop, Seed);
+    if ((Active & ~Closed) == 0)
+      continue; // Closure swallowed every active process: no reduction.
+    size_t Count = 0;
+    bool Ok = true;
+    for (size_t I = 0; I != NumMoves && Ok; ++I) {
+      if (Part[I] & ~Closed) {
+        // C1 invariant: an enabled move never straddles the closure
+        // (its other participant would have been pulled in). If the
+        // static facts and the dynamic state ever disagree, fall back.
+        if (Part[I] & Closed)
+          Ok = false;
+        continue;
+      }
+      ++Count;
+      if (Part[I] & CliqueMask)
+        Ok = false; // C2: clique members' moves stay visible.
+      else if (moveHeapUnsafe(Moves[I], Stop))
+        Ok = false; // C2: heap-visible commit bodies stay visible.
+    }
+    if (!Ok || Count == 0 || Count >= NumMoves)
+      continue;
+    if (Count < BestCount) {
+      BestCount = Count;
+      BestSet = Closed;
+    }
+  }
+  if (BestCount >= NumMoves)
+    return NumMoves;
+
+  std::stable_partition(Moves.begin(), Moves.end(), [&](const Move &Mv) {
+    return (participants(Mv) & ~BestSet) == 0;
+  });
+  return BestCount;
+}

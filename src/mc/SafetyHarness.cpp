@@ -143,3 +143,39 @@ McResult esp::verifyProcessMemorySafety(const Program &Prog,
   Mc.Env = &Env;
   return checkModel(Isolated, Mc);
 }
+
+McResult esp::verifyProcessClusterMemorySafety(
+    const Program &Prog, const std::vector<std::string> &ProcessNames,
+    const SafetyOptions &Options) {
+  ModuleIR Full = lowerProgram(Prog);
+  ModuleIR Isolated;
+  Isolated.Prog = Full.Prog;
+  for (ProcIR &P : Full.Procs)
+    for (const std::string &Name : ProcessNames)
+      if (P.Proc->Name == Name) {
+        Isolated.Procs.push_back(std::move(P));
+        break;
+      }
+  assert(!Isolated.Procs.empty() && "no such process");
+
+  // The environment drives a channel iff some kept process receives from
+  // it and no kept process writes it; channels written inside the
+  // cluster rendezvous between the kept processes instead.
+  std::set<std::string> Read, Written;
+  for (const ProcIR &P : Isolated.Procs)
+    for (const Inst &I : P.Insts) {
+      if (I.Kind != InstKind::Block)
+        continue;
+      for (const IRCase &Case : I.Cases)
+        (Case.IsIn ? Read : Written).insert(Case.Channel->Name);
+    }
+  std::set<std::string> Driven;
+  for (const std::string &Name : Read)
+    if (!Written.count(Name))
+      Driven.insert(Name);
+
+  BoundedEnvModel Env(Driven, Options.IntDomain, Options.ArrayLen);
+  McOptions Mc = Options.Mc;
+  Mc.Env = &Env;
+  return checkModel(Isolated, Mc);
+}

@@ -71,6 +71,18 @@ McResult verifyProcessMemorySafety(const Program &Prog,
                                    const std::string &ProcessName,
                                    const SafetyOptions &Options);
 
+/// Verifies a *cluster* of processes together (`espmc --process a,b`):
+/// the named processes run concurrently, channels between them
+/// rendezvous for real, and the environment drives exactly the channels
+/// some kept process receives from that no kept process writes. With
+/// more than one process the interleaving space grows multiplicatively,
+/// which is what `--por` is for. A single-name cluster differs from
+/// verifyProcessMemorySafety only when the process writes a channel it
+/// also reads (the cluster keeps such a channel internal).
+McResult verifyProcessClusterMemorySafety(
+    const Program &Prog, const std::vector<std::string> &ProcessNames,
+    const SafetyOptions &Options);
+
 } // namespace esp
 
 #endif // ESP_MC_SAFETYHARNESS_H

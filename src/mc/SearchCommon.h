@@ -31,6 +31,7 @@ inline MachineOptions verifyMachineOptions(const McOptions &Options) {
   MO.MaxObjects = Options.MaxObjects;
   MO.ReuseObjectIds = true;
   MO.DeepCopyTransfers = true;
+  MO.EnvSendBudget = Options.EnvSendBudget;
   return MO;
 }
 
@@ -71,6 +72,8 @@ inline bool checkDeadlockViolation(Machine &M, const std::vector<Move> &Moves,
     AnyBlocked |= M.proc(I).St == ProcState::Status::Blocked;
   if (!AnyBlocked)
     return false; // All processes finished: normal termination.
+  if (M.stuckOnEnvBudget())
+    return false; // Finite workload consumed: quiescence, not deadlock.
   Result.Verdict = McVerdict::Violation;
   Result.Deadlock = true;
   Result.Violation.Kind = RuntimeErrorKind::None;

@@ -87,6 +87,7 @@ Machine::Machine(const ModuleIR &Module, MachineOptions Options)
   OutWait.assign(Module.Prog->Channels.size() * CP.MaskWords, 0);
   Writers.resize(Module.Prog->Channels.size());
   Readers.resize(Module.Prog->Channels.size());
+  EnvSends.assign(Module.Prog->Channels.size(), 0);
 }
 
 void Machine::bindWriter(const std::string &InterfaceName,
@@ -1573,9 +1574,13 @@ std::vector<Move> Machine::enumerateMovesImpl() {
     }
   }
 
-  // Environment sends.
+  // Environment sends (per channel, skipped once that channel's finite
+  // workload budget is spent).
   if (Env) {
     for (const std::unique_ptr<ChannelDecl> &Chan : Module.Prog->Channels) {
+      if (Options.EnvSendBudget != 0 &&
+          EnvSends[Chan->Id] >= Options.EnvSendBudget)
+        continue;
       unsigned NumVariants = Env->numVariants(Chan.get());
       for (unsigned Variant = 0; Variant != NumVariants; ++Variant) {
         Value V = Env->makeVariant(Chan.get(), Variant, H);
@@ -1640,6 +1645,7 @@ StepResult Machine::applyMove(const Move &M) {
         Chan = C.get();
     Value V = Env->makeVariant(Chan, M.EnvVariant, H);
     std::vector<Value> Values = {V};
+    ++EnvSends[M.Channel];
     if (transfer(-1, 0, M.Reader, M.ReaderCase, &Values))
       runToBlock(static_cast<unsigned>(M.Reader));
     break;
@@ -1653,6 +1659,21 @@ StepResult Machine::applyMove(const Move &M) {
   if (Error)
     return StepResult::Errored;
   return allDone() ? StepResult::Halted : StepResult::Progress;
+}
+
+bool Machine::stuckOnEnvBudget() {
+  if (Options.EnvSendBudget == 0 || Error)
+    return false;
+  bool AnySpent = false;
+  for (uint32_t N : EnvSends)
+    AnySpent |= N >= Options.EnvSendBudget;
+  if (!AnySpent)
+    return false;
+  std::vector<uint32_t> Saved = EnvSends;
+  std::fill(EnvSends.begin(), EnvSends.end(), 0u);
+  bool Any = !enumerateMoves().empty();
+  EnvSends = std::move(Saved);
+  return Any && !Error;
 }
 
 bool Machine::isDeadlocked() {
@@ -1671,7 +1692,7 @@ bool Machine::isDeadlocked() {
 //===----------------------------------------------------------------------===//
 
 Machine::Snapshot Machine::snapshot() const {
-  return Snapshot{H, Procs, Error, Started};
+  return Snapshot{H, Procs, Error, Started, EnvSends};
 }
 
 void Machine::restore(const Snapshot &S) {
@@ -1679,6 +1700,7 @@ void Machine::restore(const Snapshot &S) {
   Procs = S.Procs;
   Error = S.Error;
   Started = S.Started;
+  EnvSends = S.EnvSends;
   ReadyQueue.clear();
   Current = -1;
   rebuildWaitBits();
@@ -1816,17 +1838,33 @@ std::string Machine::serializeState() const {
   return Out;
 }
 
+/// The spent per-channel env-send budget distinguishes states under a
+/// finite workload; with an unbounded environment it is omitted so the
+/// state vector is byte-identical to the budget-free build.
+static void appendEnvBudget(const MachineOptions &Options,
+                            const std::vector<uint32_t> &EnvSends,
+                            std::string &Out) {
+  if (Options.EnvSendBudget == 0)
+    return;
+  for (uint32_t N : EnvSends)
+    for (int Shift = 0; Shift != 32; Shift += 8)
+      Out.push_back(static_cast<char>((N >> Shift) & 0xff));
+}
+
 void Machine::serializeState(std::string &Out) const {
   Out.clear();
   StateSerializer S(H, Out, nullptr);
   serializeMachineState(Procs, Error, Out, S);
+  appendEnvBudget(Options, EnvSends, Out);
 }
 
 size_t Machine::serializeComponents(std::string &Control,
                                     std::vector<std::string> &ObjectBlobs) const {
   Control.clear();
   StateSerializer S(H, Control, &ObjectBlobs);
-  return serializeMachineState(Procs, Error, Control, S);
+  size_t N = serializeMachineState(Procs, Error, Control, S);
+  appendEnvBudget(Options, EnvSends, Control);
+  return N;
 }
 
 unsigned Machine::countLeakedObjects() const {

@@ -277,6 +277,18 @@ struct MachineOptions {
   /// Stop execution after this many interpreted instructions in one
   /// runToBlock (guards against non-terminating local loops).
   uint64_t LocalStepLimit = 10'000'000;
+  /// Bound on the number of environment sends the machine will
+  /// enumerate *per channel* (0 = unbounded). A finite budget turns the
+  /// open, infinitely re-driven environment into a bounded workload —
+  /// "verify K requests end to end" — whose state space is finite and
+  /// largely acyclic even for processes with monotone counters. The
+  /// budget is per channel, not global, so sends on unrelated channels
+  /// stay independent (a global pool would couple every environment
+  /// input through the shared counter, which both shrinks the verified
+  /// workload set and defeats partial-order reduction). The per-channel
+  /// counters are part of the state identity (serialized with the state
+  /// vector whenever the budget is enabled).
+  uint32_t EnvSendBudget = 0;
 };
 
 /// The ESP virtual machine. Copyable (for model-checker snapshots) except
@@ -341,6 +353,12 @@ public:
   /// True when no move is enabled and some process is still Blocked.
   bool isDeadlocked();
 
+  /// True when the machine is stuck only because the finite environment
+  /// workload (MachineOptions::EnvSendBudget) is spent: lifting the
+  /// budget would enable at least one move. Such a state is quiescent
+  /// termination of the bounded harness, not a deadlock.
+  bool stuckOnEnvBudget();
+
   /// True when every process ran to completion.
   bool allDone() const;
 
@@ -388,6 +406,7 @@ public:
     std::vector<ProcState> Procs;
     RuntimeError Error;
     bool Started = false;
+    std::vector<uint32_t> EnvSends;
   };
   Snapshot snapshot() const;
   void restore(const Snapshot &S);
@@ -518,6 +537,10 @@ private:
   RuntimeError Error;
   ExecStats Stats;
   bool Started = false;
+  /// Environment sends applied so far, per channel id; only meaningful
+  /// (and only part of the serialized state) when Options.EnvSendBudget
+  /// is nonzero.
+  std::vector<uint32_t> EnvSends;
 
   /// Shared postfix evaluation stack (member so steady-state evaluation
   /// is allocation-free; nested evaluations save/restore their base).

@@ -41,6 +41,14 @@ const char kUsage[] =
     "  --no-deadlock       skip the deadlock search\n"
     "  --no-links          skip the link/unlink balance analysis\n"
     "  --no-reachability   skip the reachability checks\n"
+    "  --no-interference   skip the interference warnings\n"
+    "                      (self-rendezvous channels)\n"
+    "  --interference      also print the conflict classes computed by\n"
+    "                      the independence analysis: the channel of\n"
+    "                      each communication site, a conflict-matrix\n"
+    "                      summary, and the share of statically\n"
+    "                      commuting move pairs (what espmc --por\n"
+    "                      exploits)\n"
     "  --max-configs N     deadlock search state cap (default 1048576)\n"
     "  --builtin-vmmc      also analyze the built-in VMMC firmware\n"
     "  -q, --quiet         print errors only (warnings still counted)\n";
@@ -130,6 +138,10 @@ int main(int Argc, char **Argv) {
       Options.CheckLinkBalance = false;
     else if (Args.flag("--no-reachability"))
       Options.CheckReachability = false;
+    else if (Args.flag("--no-interference"))
+      Options.CheckInterference = false;
+    else if (Args.flag("--interference"))
+      Options.ReportInterference = true;
     else if (Args.optionUInt("--max-configs", MaxConfigs, 1))
       Options.MaxConfigs = MaxConfigs;
     else if (Args.flag("--builtin-vmmc"))

@@ -532,6 +532,44 @@ TEST(AnalysisCorpus, VmmcFirmwareIsClean) {
 }
 
 //===----------------------------------------------------------------------===//
+// Interference (independence analysis)
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisInterference, SelfRendezvousChannelWarns) {
+  // Both endpoints of `a` live in one process: rendezvous requires two
+  // parties, so the send can never complete.
+  auto C = compile(R"(
+channel a: int
+process p { out( a, 1); in( a, $x); }
+)");
+  ASSERT_TRUE(C);
+  AnalysisResult R = analyze(*C);
+  EXPECT_TRUE(hasFinding(R, AnalysisKind::Interference,
+                         AnalysisSeverity::Warning,
+                         "self-rendezvous deadlock"))
+      << allMessages(R);
+}
+
+TEST(AnalysisInterference, TwoPartyChannelIsClean) {
+  auto C = compile(DeadlockFixedSource);
+  ASSERT_TRUE(C);
+  AnalysisResult R = analyze(*C);
+  for (const AnalysisFinding &F : R.Findings)
+    EXPECT_NE(F.Kind, AnalysisKind::Interference) << allMessages(R);
+}
+
+TEST(AnalysisInterference, ReportSummarizesConflictClasses) {
+  auto C = compile(DeadlockFixedSource);
+  ASSERT_TRUE(C);
+  AnalysisOptions Options;
+  Options.ReportInterference = true;
+  AnalysisResult R = analyze(*C, Options);
+  EXPECT_TRUE(hasFinding(R, AnalysisKind::Interference, AnalysisSeverity::Note,
+                         "statically commuting"))
+      << allMessages(R);
+}
+
+//===----------------------------------------------------------------------===//
 // Reporting and rendering
 //===----------------------------------------------------------------------===//
 
