@@ -25,6 +25,28 @@ void Heap::freeObject(uint32_t Index) {
   }
 }
 
+void Heap::reset() {
+  FreeHead = kNoFree;
+  for (uint32_t Index = static_cast<uint32_t>(Objects.size()); Index-- > 0;) {
+    HeapObject &Obj = Objects[Index];
+    if (Obj.Live) {
+      Obj.Live = false;
+      ++Obj.Gen; // Even (live) -> odd (freed): invalidates outstanding refs.
+    }
+    Obj.ObjType = nullptr;
+    Obj.RefCount = 0;
+    Obj.Arm = -1;
+    Obj.Elems.clear(); // Capacity stays with the slot: the arena reuse.
+    // High-to-low chaining leaves FreeHead at slot 0, so a reset heap
+    // pops ids in the same ascending order a fresh heap appends them.
+    NextFree[Index] = FreeHead;
+    FreeHead = Index;
+  }
+  TotalAllocations = 0;
+  LiveCount = 0;
+  HighWater = 0;
+}
+
 HeapStatus Heap::unlink(const Value &V) {
   // Iterative recursive-unlink to avoid unbounded native recursion on
   // deep object graphs. The scratch worklist is a member so steady-state

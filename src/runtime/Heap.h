@@ -185,6 +185,16 @@ public:
   /// the objects pointed to (§4.4). Fails on dead objects.
   HeapStatus unlink(const Value &V);
 
+  /// Returns the heap to its freshly-constructed state while keeping the
+  /// arena: the object table and every slot's element buffer keep their
+  /// capacity, so the next occupant allocates without touching the
+  /// native allocator (the serve runtime recycles a connection's machine
+  /// this way). Live slots are freed (generation bumped to odd, so any
+  /// stale reference stays detectable) and the free list is rebuilt in
+  /// ascending slot order — a reset heap hands out ids 0, 1, 2, ... like
+  /// a fresh one. All statistics reset to zero.
+  void reset();
+
   // Statistics for the benchmarks and the verifier report.
   uint64_t getTotalAllocations() const { return TotalAllocations; }
   uint32_t getLiveCount() const { return LiveCount; }

@@ -78,9 +78,19 @@ std::string Move::str(const ModuleIR &Module) const {
 // Construction and setup
 //===----------------------------------------------------------------------===//
 
+std::shared_ptr<const CompiledProgram>
+Machine::compileProgram(const ModuleIR &Module) {
+  return std::make_shared<const CompiledProgram>(
+      CompiledProgram::build(Module));
+}
+
 Machine::Machine(const ModuleIR &Module, MachineOptions Options)
-    : Module(Module), Options(Options), CP(CompiledProgram::build(Module)),
-      H(Options.MaxObjects, Options.ReuseObjectIds) {
+    : Machine(Module, Options, compileProgram(Module)) {}
+
+Machine::Machine(const ModuleIR &Module, MachineOptions Options,
+                 std::shared_ptr<const CompiledProgram> Compiled)
+    : Module(Module), Options(Options), CPShared(std::move(Compiled)),
+      CP(*CPShared), H(Options.MaxObjects, Options.ReuseObjectIds) {
   H.setFullChecks(Options.DeepCopyTransfers);
   Procs.resize(Module.Procs.size());
   InWait.assign(Module.Prog->Channels.size() * CP.MaskWords, 0);
@@ -88,6 +98,30 @@ Machine::Machine(const ModuleIR &Module, MachineOptions Options)
   Writers.resize(Module.Prog->Channels.size());
   Readers.resize(Module.Prog->Channels.size());
   EnvSends.assign(Module.Prog->Channels.size(), 0);
+}
+
+void Machine::reset() {
+  H.reset();
+  for (ProcState &P : Procs) {
+    P.PC = 0;
+    P.St = ProcState::Status::Ready;
+    // clear() keeps each vector's capacity; start() reassigns the slots
+    // and prepareBlock() regrows the case caches without reallocating.
+    P.Slots.clear();
+    P.CaseEnabled.clear();
+    P.Prepared.clear();
+    P.PreparedValid.clear();
+  }
+  Error = RuntimeError();
+  Stats = ExecStats();
+  Started = false;
+  std::fill(EnvSends.begin(), EnvSends.end(), 0);
+  EvalStack.clear();
+  std::fill(InWait.begin(), InWait.end(), 0);
+  std::fill(OutWait.begin(), OutWait.end(), 0);
+  ReadyQueue.clear();
+  Current = -1;
+  PollRotor = 0;
 }
 
 void Machine::bindWriter(const std::string &InterfaceName,

@@ -297,6 +297,19 @@ class Machine {
 public:
   Machine(const ModuleIR &Module, MachineOptions Options);
 
+  /// Shares a prebuilt \p Compiled program (from compileProgram() on the
+  /// same Module) instead of compiling privately. The serve runtime
+  /// constructs thousands of machine instances over one immutable
+  /// CompiledProgram this way; the per-instance footprint is then just
+  /// the dynamic state (heap, process slots, wait masks).
+  Machine(const ModuleIR &Module, MachineOptions Options,
+          std::shared_ptr<const CompiledProgram> Compiled);
+
+  /// Builds the shareable compiled form of \p Module for the sharing
+  /// constructor.
+  static std::shared_ptr<const CompiledProgram>
+  compileProgram(const ModuleIR &Module);
+
   // Non-copyable because of bindings; use snapshot()/restore() for MC.
   Machine(const Machine &) = delete;
   Machine &operator=(const Machine &) = delete;
@@ -319,6 +332,16 @@ public:
   /// Runs every process from its entry to its first communication point.
   /// Must be called once before step()/enumerateMoves().
   void start();
+
+  /// Returns the machine to its pre-start() state so a serve slot can
+  /// recycle it for a new connection without reallocating program state:
+  /// the heap keeps its arena (Heap::reset), process slot vectors keep
+  /// their capacity, statistics and the scheduler state go back to zero.
+  /// External bindings and the observer survive the reset. After
+  /// reset() + start() the machine replays an identical input sequence
+  /// bit-identically to a freshly constructed one (pinned by
+  /// tests/test_serve.cpp).
+  void reset();
 
   //===--- Execution mode (firmware scheduler) ----------------------------===//
 
@@ -531,7 +554,11 @@ private:
 
   const ModuleIR &Module;
   MachineOptions Options;
-  CompiledProgram CP;
+  /// Owns (or co-owns) the compiled program; CP is the alias the hot
+  /// paths dereference. Fleet serving shares one compiled program across
+  /// every machine instance.
+  std::shared_ptr<const CompiledProgram> CPShared;
+  const CompiledProgram &CP;
   Heap H;
   std::vector<ProcState> Procs;
   RuntimeError Error;

@@ -1,0 +1,127 @@
+//===--- Latency.h - Log-linear latency histogram ---------------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lock-free latency recording for the serve runtime. Workers record
+/// nanosecond samples on every response; the driver asks for p50/p99/p999
+/// once at the end. An HdrHistogram-style log-linear bucketing keeps the
+/// table small (~2.3k buckets to cover 64-bit ns) with bounded relative
+/// error: each power-of-two range is split into 2^kPrecisionBits linear
+/// sub-buckets, so the quantile error is at most 1/32 ≈ 3.1%.
+///
+/// Buckets are plain relaxed atomics, sharded by worker to keep the hot
+/// increment uncontended; quantile() sums the shards after the pool has
+/// joined (the joins publish the counts, so no stronger ordering is
+/// needed on the increments).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_SERVE_LATENCY_H
+#define ESP_SERVE_LATENCY_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace esp {
+namespace serve {
+
+class LatencyRecorder {
+public:
+  static constexpr unsigned kPrecisionBits = 5;
+  static constexpr unsigned kSubBuckets = 1u << kPrecisionBits; // 32
+  // Values below kSubBuckets*2 are exact; above, 64 - kPrecisionBits - 1
+  // doubling ranges of kSubBuckets sub-buckets each cover uint64.
+  static constexpr unsigned kBucketCount =
+      kSubBuckets * 2 + (64 - kPrecisionBits - 1) * kSubBuckets;
+
+  explicit LatencyRecorder(unsigned Shards)
+      : ShardCount(Shards ? Shards : 1),
+        Buckets(new std::atomic<uint64_t>[size_t(ShardCount) * kBucketCount]) {
+    for (size_t I = 0; I != size_t(ShardCount) * kBucketCount; ++I)
+      Buckets[I].store(0, std::memory_order_relaxed);
+  }
+
+  /// Maps a value to its bucket index. Monotone and total: consecutive
+  /// values map to the same or the next bucket (continuity is pinned by
+  /// tests/test_serve.cpp).
+  static unsigned bucketOf(uint64_t V) {
+    if (V < kSubBuckets * 2)
+      return static_cast<unsigned>(V); // exact range
+    // Highest set bit gives the doubling range; the kPrecisionBits bits
+    // below it give the linear sub-bucket.
+    unsigned Msb = 63u - static_cast<unsigned>(__builtin_clzll(V));
+    unsigned Shift = Msb - kPrecisionBits; // >= 1 here
+    unsigned Sub = static_cast<unsigned>((V >> Shift) & (kSubBuckets - 1));
+    return (Shift + 1) * kSubBuckets + Sub;
+  }
+
+  /// Lower edge of a bucket: the smallest value mapping into it. The
+  /// quantile report uses the midpoint of [lower, next-lower).
+  static uint64_t bucketLow(unsigned Bucket) {
+    if (Bucket < kSubBuckets * 2)
+      return Bucket;
+    unsigned Shift = Bucket / kSubBuckets - 1;
+    unsigned Sub = Bucket % kSubBuckets;
+    return (uint64_t(kSubBuckets) + Sub) << Shift;
+  }
+
+  void record(unsigned Shard, uint64_t ValueNs) {
+    auto &B = Buckets[size_t(Shard % ShardCount) * kBucketCount +
+                      bucketOf(ValueNs)];
+    B.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const {
+    uint64_t N = 0;
+    for (size_t I = 0; I != size_t(ShardCount) * kBucketCount; ++I)
+      N += Buckets[I].load(std::memory_order_relaxed);
+    return N;
+  }
+
+  /// Value (ns, bucket-midpoint estimate) at quantile \p Q in [0, 1].
+  /// 0 when empty. Call after the recording threads joined.
+  uint64_t quantile(double Q) const {
+    std::vector<uint64_t> Merged(kBucketCount, 0);
+    uint64_t Total = 0;
+    for (unsigned S = 0; S != ShardCount; ++S)
+      for (unsigned B = 0; B != kBucketCount; ++B) {
+        uint64_t C =
+            Buckets[size_t(S) * kBucketCount + B].load(std::memory_order_relaxed);
+        Merged[B] += C;
+        Total += C;
+      }
+    if (Total == 0)
+      return 0;
+    if (Q < 0)
+      Q = 0;
+    if (Q > 1)
+      Q = 1;
+    // Rank of the sample the quantile asks for, 1-based.
+    uint64_t Rank = static_cast<uint64_t>(Q * double(Total - 1)) + 1;
+    uint64_t Seen = 0;
+    for (unsigned B = 0; B != kBucketCount; ++B) {
+      Seen += Merged[B];
+      if (Seen >= Rank) {
+        uint64_t Low = bucketLow(B);
+        uint64_t High = B + 1 < kBucketCount ? bucketLow(B + 1) : Low + 1;
+        return Low + (High - Low) / 2;
+      }
+    }
+    return bucketLow(kBucketCount - 1);
+  }
+
+private:
+  unsigned ShardCount;
+  std::unique_ptr<std::atomic<uint64_t>[]> Buckets;
+};
+
+} // namespace serve
+} // namespace esp
+
+#endif // ESP_SERVE_LATENCY_H

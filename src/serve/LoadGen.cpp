@@ -1,0 +1,75 @@
+//===--- LoadGen.cpp - Deterministic fleet load generator -------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/LoadGen.h"
+
+#include "vmmc/ServeFirmware.h"
+
+using namespace esp;
+using namespace esp::serve;
+
+LoadGen::LoadGen(const LoadGenOptions &Options)
+    : Opt(Options), State(Options.Seed * 0x9e3779b97f4a7c15ULL + 1) {
+  if (Opt.Machines == 0)
+    Opt.Machines = 1;
+  if (Opt.Batch == 0)
+    Opt.Batch = 1;
+}
+
+uint64_t LoadGen::rng() {
+  // splitmix64: tiny, well mixed, and trivially reproducible from the
+  // seed alone — the whole point of this generator.
+  uint64_t X = (State += 0x9e3779b97f4a7c15ULL);
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+bool LoadGen::next(LoadRequest &Out) {
+  if (Emitted >= Opt.Requests)
+    return false;
+  if (BurstLeft == 0) {
+    uint64_t R = rng();
+    BurstMachine = static_cast<uint32_t>(R % Opt.Machines);
+    BurstLeft = static_cast<uint32_t>((R >> 32) % Opt.Batch) + 1;
+  }
+  --BurstLeft;
+  uint64_t R = rng();
+  uint32_t SizeClass = static_cast<uint32_t>(R % 100);
+  uint32_t Size;
+  if (SizeClass < 80)
+    Size = static_cast<uint32_t>((R >> 16) % 512) + 1;
+  else if (SizeClass < 99)
+    Size = static_cast<uint32_t>((R >> 16) % vmmc::kServeMtu) + 1;
+  else
+    Size = vmmc::kServeMtu + 1 +
+           static_cast<uint32_t>((R >> 16) % (3 * vmmc::kServeMtu));
+  Out.Machine = BurstMachine;
+  Out.Ev.Seq = Emitted;
+  // Page-aligned-ish virtual addresses across the translation table's
+  // index space; the offset bits exercise the % PAGESIZE path.
+  Out.Ev.VAddr = static_cast<uint32_t>(
+      (R >> 40) % (vmmc::kServePtSize * vmmc::kServePageSize));
+  Out.Ev.Size = Size;
+  Out.Ev.T0Ns = 0;
+  ++Emitted;
+  return true;
+}
+
+ServeTotals LoadGen::expectedTotals(const LoadGenOptions &Options) {
+  LoadGen G(Options);
+  ServeTotals T;
+  LoadRequest R;
+  while (G.next(R)) {
+    vmmc::ServeResponseModel M =
+        vmmc::serveResponseModel(R.Ev.Seq, R.Ev.VAddr, R.Ev.Size);
+    ++T.Responses;
+    T.Frags += M.Frags;
+    T.Bytes += M.Bytes;
+    T.Checksum += vmmc::serveResponseDigest(M.Seq, M.Frags, M.Bytes, M.Sum);
+  }
+  return T;
+}

@@ -1,0 +1,95 @@
+//===--- LoadGen.h - Deterministic fleet load generator ---------*- C++ -*-==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic request stream over a simulated cluster: a splitmix64
+/// PRNG picks a machine, a burst length, and per-request (vAddr, size)
+/// pairs. The same (seed, machines, requests) always yields the same
+/// stream, so:
+///
+///  * expectedTotals() predicts the exact aggregate (responses, frags,
+///    bytes, order-independent checksum) without running any machine —
+///    espserve and the tests verify the serve run against it;
+///  * the stream is independent of worker count, so single-worker and
+///    multi-worker runs of the same load must agree (the determinism
+///    test).
+///
+/// Sizes follow a skewed service distribution: mostly small control
+/// messages (<= 512 B), a band of near-MTU transfers, and ~1% multi-
+/// fragment sends up to 4 * MTU — enough to exercise the firmware's
+/// fragmentation loop without drowning the run in large requests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESP_SERVE_LOADGEN_H
+#define ESP_SERVE_LOADGEN_H
+
+#include "serve/ExternalPort.h"
+
+#include <cstdint>
+
+namespace esp {
+namespace serve {
+
+struct LoadGenOptions {
+  uint64_t Seed = 1;
+  uint32_t Machines = 1;
+  uint64_t Requests = 0;
+  /// Upper bound on burst length (consecutive requests to one machine);
+  /// matches the scheduler's event-delivery batch.
+  uint32_t Batch = 16;
+};
+
+/// One generated request, addressed to a machine slot. Ev.T0Ns is left 0;
+/// the pusher stamps it at enqueue time.
+struct LoadRequest {
+  uint32_t Machine = 0;
+  ServeEvent Ev;
+};
+
+/// Aggregate over a completed load: what every serve run must add up to.
+struct ServeTotals {
+  uint64_t Responses = 0;
+  uint64_t Frags = 0;
+  uint64_t Bytes = 0;
+  uint64_t Checksum = 0; ///< Sum of per-response digests (order-free).
+
+  friend bool operator==(const ServeTotals &A, const ServeTotals &B) {
+    return A.Responses == B.Responses && A.Frags == B.Frags &&
+           A.Bytes == B.Bytes && A.Checksum == B.Checksum;
+  }
+  friend bool operator!=(const ServeTotals &A, const ServeTotals &B) {
+    return !(A == B);
+  }
+};
+
+class LoadGen {
+public:
+  explicit LoadGen(const LoadGenOptions &Options);
+
+  /// Produces the next request; false when the stream is exhausted.
+  bool next(LoadRequest &Out);
+
+  uint64_t generated() const { return Emitted; }
+
+  /// Replays the whole stream through the firmware's response model
+  /// (vmmc::serveResponseModel) without touching a machine.
+  static ServeTotals expectedTotals(const LoadGenOptions &Options);
+
+private:
+  uint64_t rng();
+
+  LoadGenOptions Opt;
+  uint64_t State;
+  uint64_t Emitted = 0;
+  uint32_t BurstMachine = 0;
+  uint32_t BurstLeft = 0;
+};
+
+} // namespace serve
+} // namespace esp
+
+#endif // ESP_SERVE_LOADGEN_H

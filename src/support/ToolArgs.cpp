@@ -25,12 +25,24 @@ bool ToolArgs::next() {
   return true;
 }
 
+void ToolArgs::noteOption(const char *Name) {
+  // Scripted invocations append overrides ("espserve $BASE_FLAGS
+  // --requests 1000"), so a repeated option is not an error: the last
+  // value wins, and the first repeat gets one warning.
+  if (!SeenOptions.insert(Name).second && !Quiet)
+    std::fprintf(stderr,
+                 "%s: warning: option '%s' given more than once; "
+                 "the last value wins\n",
+                 Tool.c_str(), Name);
+}
+
 bool ToolArgs::option(const char *Name, std::string &Value) {
   // --name=value spelling: everything after the first '=' is the value
   // (which may itself contain '=' or be empty).
   size_t NameLen = std::string::traits_type::length(Name);
   if (Current.size() > NameLen && Current[NameLen] == '=' &&
       Current.compare(0, NameLen, Name) == 0) {
+    noteOption(Name);
     Value = Current.substr(NameLen + 1);
     return true;
   }
@@ -40,6 +52,7 @@ bool ToolArgs::option(const char *Name, std::string &Value) {
     usageError(std::string(Name) + " expects a value");
     return true; // Consumed; the caller's chain must not keep matching.
   }
+  noteOption(Name);
   Value = Argv[++Index];
   return true;
 }

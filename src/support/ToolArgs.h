@@ -29,6 +29,7 @@
 #define ESP_SUPPORT_TOOLARGS_H
 
 #include <cstdint>
+#include <set>
 #include <string>
 
 namespace esp {
@@ -52,7 +53,9 @@ public:
 
   /// True when the current argument is \p Name; consumes the following
   /// argument into \p Value. The --name=value spelling is accepted too.
-  /// A missing value is a usage error.
+  /// A missing value is a usage error. Repeated occurrences of the same
+  /// option are accepted — the last value wins — with a warning on the
+  /// first repeat (scripted invocations append overrides; see espserve).
   bool option(const char *Name, std::string &Value);
 
   /// Like option, but the value must parse as an integer (decimal),
@@ -90,12 +93,17 @@ public:
   int exitCode() const { return Code; }
 
 private:
+  /// Warns (once per name) when a value-taking option repeats; the later
+  /// value overwrites the earlier one in the caller's variable anyway.
+  void noteOption(const char *Name);
+
   int Argc;
   char **Argv;
   int Index = 0;
   std::string Tool;
   std::string Usage;
   std::string Current;
+  std::set<std::string> SeenOptions;
   bool Exit = false;
   bool Quiet = false;
   int Code = 0;

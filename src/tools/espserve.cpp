@@ -1,0 +1,181 @@
+//===--- espserve.cpp - Fleet-scale ESP serving driver ----------------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+// Drives the src/serve runtime: N machine instances of the VMMC serve
+// firmware (one per simulated client connection, one shared compiled
+// program) on a work-stealing worker pool, under a deterministic load.
+// Verifies the aggregate totals against the load generator's prediction
+// and reports throughput plus latency percentiles. See docs/serving.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Obs.h"
+#include "obs/Trace.h"
+#include "serve/Serve.h"
+#include "support/ToolArgs.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace esp;
+
+namespace {
+
+const char kUsage[] =
+    "usage: espserve [options]\n"
+    "\n"
+    "Fleet-scale ESP serving: thousands of firmware machine instances\n"
+    "on a work-stealing thread pool, driven by a deterministic load\n"
+    "generator. Exit 0 only when every request was answered and the\n"
+    "aggregate totals match the generator's prediction.\n"
+    "\n"
+    "options:\n"
+    "  --machines N        connection slots / machine instances\n"
+    "                      (default 256)\n"
+    "  --requests N        total requests across the fleet\n"
+    "                      (default 10000)\n"
+    "  --serve-jobs N      worker threads; 1 = deterministic schedule\n"
+    "                      (default 1)\n"
+    "  --inbox-cap N       per-machine inbox bound (default 64)\n"
+    "  --batch N           max burst / event-delivery batch (default 16)\n"
+    "  --conn-requests N   recycle a machine after N responses\n"
+    "                      (default 0 = never)\n"
+    "  --seed N            load-generator seed (default 1)\n"
+    "  --stats-json FILE   write serve.* metrics as JSON\n"
+    "  --trace FILE        Chrome trace of the first --trace-machines\n"
+    "                      machines (implies --serve-jobs 1)\n"
+    "  --trace-machines N  how many machines get trace tracks\n"
+    "                      (default 1)\n"
+    "  --quiet, -q         suppress the summary line\n"
+    "  --help, --version\n";
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ToolArgs Args(Argc, Argv, "espserve", kUsage);
+
+  serve::ServeOptions Opt;
+  uint64_t Machines = 256, Requests = 10'000, Jobs = 1, InboxCap = 64,
+           Batch = 16, ConnRequests = 0, Seed = 1, TraceMachines = 1;
+  std::string StatsPath, TracePath;
+
+  while (Args.next()) {
+    if (Args.optionUInt("--machines", Machines, 1))
+      ;
+    else if (Args.optionUInt("--requests", Requests, 1))
+      ;
+    else if (Args.optionUInt("--serve-jobs", Jobs, 1))
+      ;
+    else if (Args.optionUInt("--inbox-cap", InboxCap, 1))
+      ;
+    else if (Args.optionUInt("--batch", Batch, 1))
+      ;
+    else if (Args.optionUInt("--conn-requests", ConnRequests))
+      ;
+    else if (Args.optionUInt("--seed", Seed))
+      ;
+    else if (Args.optionUInt("--trace-machines", TraceMachines, 1))
+      ;
+    else if (Args.option("--stats-json", StatsPath))
+      ;
+    else if (Args.option("--trace", TracePath))
+      ;
+    else
+      Args.unknownOrBuiltin();
+  }
+  if (Args.shouldExit())
+    return Args.exitCode();
+
+  Opt.Machines = static_cast<uint32_t>(Machines);
+  Opt.Requests = Requests;
+  Opt.Workers = static_cast<unsigned>(Jobs);
+  Opt.InboxCap = static_cast<unsigned>(InboxCap);
+  Opt.Batch = static_cast<uint32_t>(Batch);
+  Opt.ConnRequests = ConnRequests;
+  Opt.Seed = Seed;
+  Opt.TraceMachines = static_cast<uint32_t>(TraceMachines);
+
+  obs::MetricsRegistry Metrics;
+  obs::TraceWriter Trace;
+  const bool Observing = !StatsPath.empty() || !TracePath.empty();
+  if (Observing)
+    obs::setEnabled(true);
+  if (!StatsPath.empty())
+    Opt.Metrics = &Metrics;
+  if (!TracePath.empty()) {
+    if (Opt.Workers != 1) {
+      // Tracing needs the deterministic single-worker schedule; honor
+      // the trace request rather than silently dropping it.
+      if (!Args.quiet())
+        std::fprintf(stderr,
+                     "espserve: --trace forces --serve-jobs 1 "
+                     "(deterministic schedule)\n");
+      Opt.Workers = 1;
+    }
+    Opt.Trace = &Trace;
+  }
+
+  serve::ServeResult R = serve::runServe(Opt);
+
+  if (!TracePath.empty() && !Trace.writeFile(TracePath)) {
+    Args.error("cannot write trace file '" + TracePath + "'");
+    return Args.exitCode();
+  }
+
+  if (!StatsPath.empty()) {
+    obs::JsonValue Stats = obs::JsonValue::object();
+    Stats.set("metrics", Metrics.json());
+    obs::JsonValue Run = obs::JsonValue::object();
+    Run.set("machines", obs::JsonValue::integer(Opt.Machines));
+    Run.set("requests", obs::JsonValue::integer(
+                            static_cast<int64_t>(Opt.Requests)));
+    Run.set("workers", obs::JsonValue::integer(Opt.Workers));
+    Run.set("elapsed_ns", obs::JsonValue::integer(
+                              static_cast<int64_t>(R.ElapsedNs)));
+    Run.set("requests_per_sec", obs::JsonValue::number(R.RequestsPerSec));
+    Run.set("p50_ns",
+            obs::JsonValue::integer(static_cast<int64_t>(R.P50Ns)));
+    Run.set("p99_ns",
+            obs::JsonValue::integer(static_cast<int64_t>(R.P99Ns)));
+    Run.set("p999_ns",
+            obs::JsonValue::integer(static_cast<int64_t>(R.P999Ns)));
+    Run.set("inbox_high_water", obs::JsonValue::integer(
+                                    static_cast<int64_t>(R.InboxHighWater)));
+    Run.set("heap_high_water_max",
+            obs::JsonValue::integer(
+                static_cast<int64_t>(R.HeapHighWaterMax)));
+    Run.set("checksum", obs::JsonValue::integer(
+                            static_cast<int64_t>(R.Totals.Checksum)));
+    Stats.set("run", std::move(Run));
+    std::string Text = Stats.dump(2);
+    std::FILE *Out = std::fopen(StatsPath.c_str(), "w");
+    if (!Out) {
+      Args.error("cannot write stats file '" + StatsPath + "'");
+      return Args.exitCode();
+    }
+    std::fwrite(Text.data(), 1, Text.size(), Out);
+    std::fputc('\n', Out);
+    std::fclose(Out);
+  }
+
+  if (!R.Ok) {
+    Args.error(R.Error);
+    return Args.exitCode();
+  }
+
+  if (!Args.quiet())
+    std::printf("espserve: %llu machines, %llu requests, %u workers: "
+                "%.0f req/s, p50 %.1f us, p99 %.1f us, p999 %.1f us "
+                "(steals %llu, resets %llu, stalls %llu)\n",
+                static_cast<unsigned long long>(Opt.Machines),
+                static_cast<unsigned long long>(R.Totals.Responses),
+                Opt.Workers, R.RequestsPerSec, R.P50Ns / 1000.0,
+                R.P99Ns / 1000.0, R.P999Ns / 1000.0,
+                static_cast<unsigned long long>(R.Steals),
+                static_cast<unsigned long long>(R.Resets),
+                static_cast<unsigned long long>(R.BackpressureStalls));
+  return 0;
+}

@@ -1,0 +1,158 @@
+//===--- ServeFirmware.cpp - Per-connection VMMC firmware in ESP ------------==//
+//
+// Part of the esplang project (ESP, PLDI 2001 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vmmc/ServeFirmware.h"
+
+#include "driver/Driver.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace esp;
+using namespace esp::vmmc;
+
+const char *esp::vmmc::getServeEspSource() {
+  return R"ESP(
+// ---- VMMC serving firmware (one instance per client connection) --------
+const MTU = 4096;        // one fragment per page, like the send path
+const PAGESIZE = 4096;
+const PTSIZE = 16;       // translation-table entries per connection
+
+type reqT = record of { seq: int, vAddr: int, size: int }
+
+// Requests enter from the serve runtime's per-machine inbox.
+channel reqC: reqT
+interface Req(out reqC) { Post( { $seq, $vAddr, $size } ) }
+
+// Virtual-to-physical translation service (internal rendezvous).
+channel ptReqC: int
+channel ptReplyC: int
+
+// Translated fragments on their way to the transmitter.
+channel fragC: record of { seq: int, pAddr: int, size: int, last: int }
+
+// Completions leave to the serve runtime's collector.
+channel respC: record of { seq: int, frags: int, bytes: int, sum: int }
+interface Resp(in respC) { Done( { $seq, $frags, $bytes, $sum } ) }
+
+// ---- process section ----------------------------------------------------
+
+// The send path of the paper's SM1: take a request, translate each page,
+// split at MTU boundaries, hand fragments to the transmitter.
+process server {
+  while (true) {
+    in( reqC, { $seq, $vAddr, $size });
+    $remaining = size;
+    $off = 0;
+    while (remaining > 0) {
+      $chunk = remaining;
+      if (chunk > MTU) chunk = MTU;
+      out( ptReqC, vAddr + off );
+      in( ptReplyC, $pAddr );
+      remaining = remaining - chunk;
+      $last = 0;
+      if (remaining == 0) last = 1;
+      out( fragC, { seq, pAddr, chunk, last });
+      off = off + chunk;
+    }
+  }
+}
+
+// Per-connection translation table. Entries are memoized on first use,
+// but the memoized value is a function of the index alone, so the
+// translation a request sees never depends on lookup order or on the
+// machine being recycled between connections — responses stay a pure
+// function of the request (the aggregate-checksum invariant).
+process pageTable {
+  $table: #array of int = #{ PTSIZE -> 0 };
+  while (true) {
+    in( ptReqC, $va );
+    $idx = (va / PAGESIZE) % PTSIZE;
+    if (table[idx] == 0) { table[idx] = (idx + 1) * PAGESIZE; }
+    out( ptReplyC, table[idx] + va % PAGESIZE );
+  }
+}
+
+// Transmit accounting: collect the fragments of one request and emit the
+// completion record the collector turns into a latency sample.
+process txSender {
+  while (true) {
+    $seq = 0;
+    $frags = 0;
+    $bytes = 0;
+    $sum = 0;
+    $done = 0;
+    while (done == 0) {
+      in( fragC, { $s, $pAddr, $sz, $last });
+      seq = s;
+      frags = frags + 1;
+      bytes = bytes + sz;
+      sum = sum + pAddr % 1048576;
+      if (last == 1) { done = 1; }
+    }
+    out( respC, { seq, frags, bytes, sum });
+  }
+}
+)ESP";
+}
+
+ServeProgram::ServeProgram() = default;
+ServeProgram::~ServeProgram() = default;
+
+ServeResponseModel esp::vmmc::serveResponseModel(uint64_t Seq, uint32_t VAddr,
+                                                 uint32_t Size) {
+  ServeResponseModel R;
+  R.Seq = Seq;
+  uint64_t Remaining = Size;
+  uint64_t Off = 0;
+  while (Remaining > 0) {
+    uint64_t Chunk = Remaining > kServeMtu ? kServeMtu : Remaining;
+    uint64_t Va = VAddr + Off;
+    uint64_t Idx = (Va / kServePageSize) % kServePtSize;
+    uint64_t PAddr = (Idx + 1) * kServePageSize + Va % kServePageSize;
+    ++R.Frags;
+    R.Bytes += Chunk;
+    R.Sum += PAddr % 1048576;
+    Remaining -= Chunk;
+    Off += Chunk;
+  }
+  return R;
+}
+
+uint64_t esp::vmmc::serveResponseDigest(uint64_t Seq, uint64_t Frags,
+                                        uint64_t Bytes, uint64_t Sum) {
+  // splitmix64 finalizer over the packed fields; summed across responses
+  // the digest is order-independent, so it is identical at any worker
+  // count once every request completed.
+  uint64_t X = Seq * 0x9e3779b97f4a7c15ULL + (Frags << 48) + (Bytes << 20) +
+               Sum + 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return X;
+}
+
+std::unique_ptr<ServeProgram> esp::vmmc::compileServeFirmware() {
+  auto P = std::make_unique<ServeProgram>();
+  P->SM = std::make_unique<SourceManager>();
+  P->Diags = std::make_unique<DiagnosticEngine>(*P->SM);
+  CompileOptions Options;
+  Options.Optimize = true;
+  CompileResult R = compileBuffer(*P->SM, *P->Diags, "vmmc_serve.esp",
+                                  getServeEspSource(), Options);
+  if (!R.Success) {
+    std::fprintf(stderr, "VMMC serve firmware failed to compile:\n%s",
+                 P->Diags->renderAll().c_str());
+    std::abort();
+  }
+  P->Prog = std::move(R.Prog);
+  P->Module = std::move(R.Optimized);
+  return P;
+}

@@ -7,12 +7,68 @@
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
 #include "support/StringExtras.h"
+#include "support/ToolArgs.h"
 
 #include <gtest/gtest.h>
+
+#include <vector>
 
 using namespace esp;
 
 namespace {
+
+/// Builds a mutable argv for ToolArgs from string literals.
+struct ArgvFixture {
+  std::vector<std::string> Store;
+  std::vector<char *> Ptrs;
+
+  explicit ArgvFixture(std::vector<std::string> Args)
+      : Store(std::move(Args)) {
+    for (std::string &A : Store)
+      Ptrs.push_back(A.data());
+  }
+  int argc() const { return static_cast<int>(Ptrs.size()); }
+  char **argv() { return Ptrs.data(); }
+};
+
+TEST(ToolArgs, RepeatedOptionLastValueWins) {
+  // Scripted invocations append overrides: the last occurrence must win,
+  // in both spellings, without becoming an error.
+  ArgvFixture Args({"tool", "--out", "first", "--out=second", "--n", "3",
+                    "--n", "7"});
+  ToolArgs TA(Args.argc(), Args.argv(), "tool", "usage\n");
+  std::string Out;
+  uint64_t N = 0;
+  while (TA.next()) {
+    if (TA.option("--out", Out))
+      ;
+    else if (TA.optionUInt("--n", N))
+      ;
+    else
+      TA.unknownOrBuiltin();
+  }
+  EXPECT_FALSE(TA.shouldExit());
+  EXPECT_EQ(Out, "second");
+  EXPECT_EQ(N, 7u);
+}
+
+TEST(ToolArgs, SingleOccurrencesStillParse) {
+  ArgvFixture Args({"tool", "--out=only", "--n", "5"});
+  ToolArgs TA(Args.argc(), Args.argv(), "tool", "usage\n");
+  std::string Out;
+  uint64_t N = 0;
+  while (TA.next()) {
+    if (TA.option("--out", Out))
+      ;
+    else if (TA.optionUInt("--n", N))
+      ;
+    else
+      TA.unknownOrBuiltin();
+  }
+  EXPECT_FALSE(TA.shouldExit());
+  EXPECT_EQ(Out, "only");
+  EXPECT_EQ(N, 5u);
+}
 
 TEST(SourceManager, DecodeLinesAndColumns) {
   SourceManager SM;
